@@ -1,0 +1,269 @@
+// Package adds is the public API of the ADDS reproduction: Abstractions for
+// Recursive Pointer Data Structures (Hendren, Hummel, Nicolau, PLDI 1992).
+//
+// The package bundles the whole pipeline behind a small surface:
+//
+//	unit := adds.MustLoad(src)            // parse + type-check mini source
+//	an, _ := unit.Analyze("shift")        // general path matrix analysis
+//	m := an.LoopMatrix(0)                 // PM at the loop's fixed point
+//	dg := an.Dependences(0, an.GPMOracle())
+//	pl, _ := an.Pipeline(0, 8)            // software-pipelined VLIW code
+//
+// Mini is a small C-like language whose type declarations carry the paper's
+// ADDS annotations ("is uniquely forward along X", "where X || Y", ...).
+// See the examples directory for complete programs.
+package adds
+
+import (
+	"fmt"
+
+	"repro/internal/alias"
+	"repro/internal/alias/klimit"
+	"repro/internal/core/pathmatrix"
+	"repro/internal/core/validation"
+	"repro/internal/depgraph"
+	"repro/internal/exper"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/norm"
+	"repro/internal/shape"
+	"repro/internal/source/ast"
+	"repro/internal/source/parser"
+	"repro/internal/source/types"
+	"repro/internal/xform"
+)
+
+// Re-exported types, so callers need only this package.
+type (
+	// Program is a parsed mini compilation unit.
+	Program = ast.Program
+	// Info is the type-checked program information.
+	Info = types.Info
+	// ShapeEnv is the ADDS shape model of the program's declarations.
+	ShapeEnv = shape.Env
+	// Matrix is a general path matrix at a program point.
+	Matrix = pathmatrix.Matrix
+	// DepGraph is a loop dependence graph.
+	DepGraph = depgraph.Graph
+	// Oracle answers may/must-alias and loop-carried queries.
+	Oracle = alias.Oracle
+	// IRProgram is pseudo-assembly for one function.
+	IRProgram = ir.Program
+	// VLIWProgram is bundled VLIW code.
+	VLIWProgram = machine.VLIWProgram
+	// Node is a concrete heap node.
+	Node = interp.Node
+	// Heap allocates concrete nodes.
+	Heap = interp.Heap
+	// Value is an interpreter value.
+	Value = interp.Value
+	// Word is a machine register value.
+	Word = machine.Word
+	// Report is a regenerated experiment table.
+	Report = exper.Report
+	// PipelineInfo summarizes a software-pipelining analysis.
+	PipelineInfo = xform.PipelineInfo
+	// CheckViolation is a dynamic ADDS-property violation.
+	CheckViolation = interp.CheckViolation
+)
+
+// Value and word constructors, re-exported.
+var (
+	IntVal  = interp.IntVal
+	PtrVal  = interp.PtrVal
+	IntWord = machine.IntWord
+	RefWord = machine.RefWord
+)
+
+// NewHeap returns an empty concrete heap.
+func NewHeap() *Heap { return interp.NewHeap() }
+
+// Unit is a loaded (parsed and checked) program.
+type Unit struct {
+	Prog *Program
+	Info *Info
+}
+
+// Load parses and type-checks mini source.
+func Load(src []byte) (*Unit, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, errs := types.Check(prog)
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return &Unit{Prog: prog, Info: info}, nil
+}
+
+// MustLoad is Load for fixed sources; it panics on error.
+func MustLoad(src string) *Unit {
+	u, err := Load([]byte(src))
+	if err != nil {
+		panic("adds.MustLoad: " + err.Error())
+	}
+	return u
+}
+
+// Shapes returns the ADDS shape environment of the unit's declarations.
+func (u *Unit) Shapes() *ShapeEnv { return u.Info.Env }
+
+// Interp returns an interpreter over a fresh heap for the unit.
+func (u *Unit) Interp() *interp.Interp { return interp.New(u.Prog) }
+
+// CheckHeap runs the dynamic ADDS property checks (Defs 4.2-4.9) against
+// the heap reachable from roots.
+func (u *Unit) CheckHeap(roots ...*Node) []CheckViolation {
+	return interp.Check(u.Info.Env, roots...)
+}
+
+// Analysis bundles every static artifact for one function.
+type Analysis struct {
+	Unit  *Unit
+	Fn    *types.FuncInfo
+	Graph *norm.Graph
+	GPM   *pathmatrix.Result
+
+	prog *ir.Program
+}
+
+// Analyze runs general path matrix analysis (with the ADDS declarations)
+// over the named function and prepares its IR.
+func (u *Unit) Analyze(fn string) (*Analysis, error) {
+	fi := u.Info.Func(fn)
+	if fi == nil {
+		return nil, fmt.Errorf("adds: function %q not declared", fn)
+	}
+	g := norm.Build(fi, u.Info.Env)
+	return &Analysis{
+		Unit:  u,
+		Fn:    fi,
+		Graph: g,
+		GPM:   pathmatrix.Analyze(g, u.Info.Env),
+		prog:  ir.Build(fi, u.Info.Env),
+	}, nil
+}
+
+// MustAnalyze panics on error.
+func (u *Unit) MustAnalyze(fn string) *Analysis {
+	a, err := u.Analyze(fn)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// IR returns the function's pseudo-assembly.
+func (a *Analysis) IR() *IRProgram { return a.prog }
+
+// Loops returns the number of loops in the function.
+func (a *Analysis) Loops() int { return len(a.prog.Loops) }
+
+// EntryMatrix returns the path matrix at function entry.
+func (a *Analysis) EntryMatrix() *Matrix { return a.GPM.AtEntry() }
+
+// ExitMatrix returns the path matrix at function exit.
+func (a *Analysis) ExitMatrix() *Matrix { return a.GPM.BeforeNode(a.Graph.Exit) }
+
+// LoopMatrix returns the fixed-point matrix inside loop i (source order).
+func (a *Analysis) LoopMatrix(i int) *Matrix {
+	return a.GPM.LoopHead(a.Graph.Loops[i])
+}
+
+// IterationMatrix returns the primed-variable matrix for loop i: relations
+// between the previous iteration's values (suffixed ') and the current.
+func (a *Analysis) IterationMatrix(i int) *Matrix {
+	return a.GPM.IterationMatrix(a.Graph.Loops[i])
+}
+
+// Validation exposes the abstraction-validation view of the analysis:
+// per-point validity and broken/repaired intervals (Section 5.1.1).
+func (a *Analysis) Validation() *validation.Result {
+	return validation.FromResult(a.GPM)
+}
+
+// GPMOracle returns the ADDS-informed alias oracle (the paper's analysis).
+func (a *Analysis) GPMOracle() Oracle { return alias.NewGPM(a.Graph, a.Unit.Info.Env) }
+
+// ClassicOracle returns the annotation-free path matrix oracle.
+func (a *Analysis) ClassicOracle() Oracle { return alias.NewClassic(a.Graph, a.Unit.Info.Env) }
+
+// ConservativeOracle returns the worst-case baseline.
+func (a *Analysis) ConservativeOracle() Oracle { return alias.NewConservative(a.Graph) }
+
+// KLimitedOracle returns the k-limited storage-graph baseline.
+func (a *Analysis) KLimitedOracle(k int) Oracle {
+	return klimit.Analyze(a.Graph, a.Unit.Info.Env, k)
+}
+
+// options builds dependence options for loop i under an oracle.
+func (a *Analysis) options(i int, o Oracle) depgraph.Options {
+	return depgraph.Options{
+		Oracle:   o,
+		NormLoop: a.Graph.Loops[a.prog.Loops[i].SrcID],
+		Env:      a.Unit.Info.Env,
+		VarTypes: a.Fn.Vars,
+	}
+}
+
+// Dependences builds the dependence graph of loop i under the oracle.
+func (a *Analysis) Dependences(i int, o Oracle) *DepGraph {
+	return depgraph.Build(a.prog, a.prog.Loops[i], a.options(i, o))
+}
+
+// AnalyzePipeline computes initiation-interval bounds for loop i under the
+// oracle at the given machine width.
+func (a *Analysis) AnalyzePipeline(i int, o Oracle, width int) PipelineInfo {
+	return xform.AnalyzePipeline(a.prog, a.prog.Loops[i], a.options(i, o), width)
+}
+
+// Pipeline software-pipelines loop i for a VLIW of the given width using
+// the ADDS-informed oracle, following the paper's Section 5.2 derivation.
+func (a *Analysis) Pipeline(i, width int) (*VLIWProgram, PipelineInfo, error) {
+	pl, err := xform.EmitPipelined(a.prog, a.prog.Loops[i], a.options(i, a.GPMOracle()), width)
+	if err != nil {
+		return nil, PipelineInfo{}, err
+	}
+	return pl.Prog, pl.Info, nil
+}
+
+// Unroll returns loop i unrolled k times for the scalar machine.
+func (a *Analysis) Unroll(i, k int) (*IRProgram, error) {
+	return xform.Unroll(a.prog, a.prog.Loops[i], k, a.options(i, a.GPMOracle()))
+}
+
+// LICM hoists loop-invariant loads of loop i under the oracle and returns
+// the transformed program plus how many loads moved.
+func (a *Analysis) LICM(i int, o Oracle) (*IRProgram, int) {
+	p, _, hoisted := xform.LICM(a.prog, a.prog.Loops[i], a.options(i, o))
+	return p, len(hoisted)
+}
+
+// Compact packs the function into VLIW bundles without pipelining.
+func (a *Analysis) Compact(width int) *VLIWProgram {
+	return xform.Compact(a.prog, width)
+}
+
+// RunScalar executes an IR program on the scalar machine model.
+func RunScalar(p *IRProgram, heap *Heap, args map[string]Word) (*machine.Result, error) {
+	return machine.RunScalar(p, machine.DefaultScalar(), heap, args)
+}
+
+// RunVLIW executes bundled code on the VLIW machine model (speculative,
+// non-faulting loads enabled, as the paper's transformation requires).
+func RunVLIW(p *VLIWProgram, heap *Heap, args map[string]Word) (*machine.Result, error) {
+	return machine.RunVLIW(p, machine.DefaultVLIW(), heap, args)
+}
+
+// Sequentialize turns linear IR into one-op bundles (the unpipelined VLIW
+// baseline).
+func Sequentialize(p *IRProgram) *VLIWProgram { return machine.Sequentialize(p) }
+
+// Experiments regenerates every table and figure of the paper's evaluation
+// (the experiment index in DESIGN.md).
+func Experiments() []*Report { return exper.All() }
+
+// Experiment regenerates one experiment by id ("E1".."E10").
+func Experiment(id string) *Report { return exper.ByID(id) }

@@ -1,0 +1,50 @@
+// Command addsbench regenerates the paper's evaluation artifacts (the
+// experiment index E1-E10 in DESIGN.md): worked path matrices, dependence
+// graphs, the pipelining derivation with theoretical and measured speedups,
+// the unrolling sweep, and the baseline comparisons.
+//
+// Usage:
+//
+//	addsbench            # run every experiment
+//	addsbench E4 E6      # run selected experiments
+//	addsbench -list      # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/adds"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments without running them")
+	flag.Parse()
+
+	if *list {
+		for _, r := range adds.Experiments() {
+			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, r := range adds.Experiments() {
+			fmt.Println(r.Format())
+		}
+		return
+	}
+	status := 0
+	for _, id := range ids {
+		r := adds.Experiment(id)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "addsbench: unknown experiment %q (try -list)\n", id)
+			status = 1
+			continue
+		}
+		fmt.Println(r.Format())
+	}
+	os.Exit(status)
+}

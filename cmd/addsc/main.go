@@ -1,0 +1,150 @@
+// Command addsc is the analysis driver: it parses a mini source file and
+// prints, per function, whatever the -show flags request — path matrices,
+// dependence graphs (optionally DOT), pseudo-assembly, or the software
+// pipelining derivation.
+//
+// Usage:
+//
+//	addsc -fn shift -show matrix,deps,ir prog.mini
+//	addsc -fn shift -show pipeline -width 8 prog.mini
+//	addsc -fn shift -oracle conservative -show deps prog.mini
+//	addsc -show check prog.mini          # parse + type-check only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/adds"
+)
+
+func main() {
+	fn := flag.String("fn", "", "function to analyze (default: every function)")
+	show := flag.String("show", "matrix", "comma-separated: check,ir,matrix,iter,deps,dot,validate,pipeline,unroll")
+	oracleName := flag.String("oracle", "gpm", "alias oracle: gpm, classic, conservative, klimit")
+	k := flag.Int("k", 2, "k for the k-limited oracle")
+	width := flag.Int("width", 8, "VLIW width for -show pipeline")
+	unroll := flag.Int("unroll", 3, "factor for -show unroll")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: addsc [flags] file.mini")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	unit, err := adds.Load(src)
+	if err != nil {
+		fatal(err)
+	}
+
+	wants := map[string]bool{}
+	for _, s := range strings.Split(*show, ",") {
+		wants[strings.TrimSpace(s)] = true
+	}
+	if wants["check"] && len(wants) == 1 {
+		fmt.Println("ok")
+		return
+	}
+
+	var fns []string
+	if *fn != "" {
+		fns = []string{*fn}
+	} else {
+		for _, fd := range unit.Prog.Funcs {
+			fns = append(fns, fd.Name)
+		}
+	}
+
+	for _, name := range fns {
+		an, err := unit.Analyze(name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== function %s ===\n", name)
+
+		oracle := pickOracle(an, *oracleName, *k)
+
+		if wants["ir"] {
+			fmt.Println("pseudo-assembly:")
+			fmt.Println(an.IR().String())
+		}
+		if wants["validate"] {
+			fmt.Println("abstraction validation (Section 5.1.1):")
+			fmt.Print(an.Validation().Report())
+		}
+		if wants["matrix"] {
+			fmt.Println("path matrix at exit:")
+			fmt.Println(an.ExitMatrix().String())
+			for i := 0; i < an.Loops(); i++ {
+				fmt.Printf("path matrix at loop %d fixed point:\n", i)
+				fmt.Println(an.LoopMatrix(i).String())
+			}
+		}
+		if wants["iter"] {
+			for i := 0; i < an.Loops(); i++ {
+				fmt.Printf("iteration (primed) matrix for loop %d:\n", i)
+				fmt.Println(an.IterationMatrix(i).String())
+			}
+		}
+		if wants["deps"] || wants["dot"] {
+			for i := 0; i < an.Loops(); i++ {
+				dg := an.Dependences(i, oracle)
+				if wants["deps"] {
+					fmt.Println(dg.String())
+				}
+				if wants["dot"] {
+					fmt.Println(dg.DOT())
+				}
+			}
+		}
+		if wants["pipeline"] {
+			for i := 0; i < an.Loops(); i++ {
+				prog, info, err := an.Pipeline(i, *width)
+				if err != nil {
+					fmt.Printf("loop %d: not pipelined: %v\n", i, err)
+					continue
+				}
+				fmt.Printf("loop %d pipelined (II=%d, theoretical speedup %.1f):\n",
+					i, info.II, info.Theoretic)
+				fmt.Println(prog.String())
+			}
+		}
+		if wants["unroll"] {
+			for i := 0; i < an.Loops(); i++ {
+				u, err := an.Unroll(i, *unroll)
+				if err != nil {
+					fmt.Printf("loop %d: not unrolled: %v\n", i, err)
+					continue
+				}
+				fmt.Printf("loop %d unrolled %dx:\n", i, *unroll)
+				fmt.Println(u.String())
+			}
+		}
+	}
+}
+
+func pickOracle(an *adds.Analysis, name string, k int) adds.Oracle {
+	switch name {
+	case "gpm":
+		return an.GPMOracle()
+	case "classic":
+		return an.ClassicOracle()
+	case "conservative":
+		return an.ConservativeOracle()
+	case "klimit":
+		return an.KLimitedOracle(k)
+	}
+	fatal(fmt.Errorf("unknown oracle %q", name))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "addsc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Pipelining walks the full Section 5.2 derivation: hoist the invariant
+// load, rename the pointer advance, hoist it speculatively above the exit
+// test (legal because ADDS structures are speculatively traversable), then
+// software-pipeline the loop for a VLIW machine — and measure the speedup
+// the paper predicts ("a theoretical speedup of 5").
+package main
+
+import (
+	"fmt"
+
+	"repro/adds"
+)
+
+const src = `
+type TwoWayLL [X] {
+    int x;
+    TwoWayLL *next is uniquely forward along X;
+    TwoWayLL *prev is backward along X;
+};
+void shift(TwoWayLL *hd) {
+    TwoWayLL *p;
+    p = hd->next;
+    while (p != NULL) {
+        p->x = p->x - hd->x;
+        p = p->next;
+    }
+}
+`
+
+func buildList(h *adds.Heap, n int) *adds.Node {
+	var head, prev *adds.Node
+	for i := 0; i < n; i++ {
+		node := h.New("TwoWayLL")
+		node.Ints["x"] = int64(i * 7)
+		if prev == nil {
+			head = node
+		} else {
+			prev.Ptrs["next"] = node
+			node.Ptrs["prev"] = prev
+		}
+		prev = node
+	}
+	return head
+}
+
+func main() {
+	unit := adds.MustLoad(src)
+	an := unit.MustAnalyze("shift")
+
+	fmt.Println("== original loop ==")
+	fmt.Println(an.IR().String())
+
+	// Why the transformation is legal: the analysis question.
+	info := an.AnalyzePipeline(0, an.GPMOracle(), 8)
+	fmt.Printf("under adds+gpm:      II=%d, theoretical speedup %.1f, legal=%v\n",
+		info.II, info.Theoretic, info.OK)
+	cons := an.AnalyzePipeline(0, an.ConservativeOracle(), 8)
+	fmt.Printf("under conservative:  RecMII=%d, legal=%v (false carried deps)\n\n",
+		cons.RecMII, cons.OK)
+
+	prog, _, err := an.Pipeline(0, 8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("== software-pipelined VLIW code (width 8) ==")
+	fmt.Println(prog.String())
+
+	// Measure: the same list, the same semantics, far fewer cycles.
+	const n = 1000
+	h1 := adds.NewHeap()
+	seq, err := adds.RunVLIW(adds.Sequentialize(an.IR()), h1,
+		map[string]adds.Word{"hd": adds.RefWord(buildList(h1, n))})
+	if err != nil {
+		panic(err)
+	}
+	h2 := adds.NewHeap()
+	hd2 := buildList(h2, n)
+	pip, err := adds.RunVLIW(prog, h2, map[string]adds.Word{"hd": adds.RefWord(hd2)})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sequential issue: %6d cycles\n", seq.Cycles)
+	fmt.Printf("pipelined:        %6d cycles\n", pip.Cycles)
+	fmt.Printf("measured speedup: %.2fx (paper's theoretical: 5x)\n",
+		float64(seq.Cycles)/float64(pip.Cycles))
+
+	// The transformed list is still a valid TwoWayLL.
+	if vs := unit.CheckHeap(hd2); len(vs) != 0 {
+		panic(vs[0].String())
+	}
+	fmt.Println("post-run dynamic check: declaration still holds")
+}

@@ -1,0 +1,80 @@
+// Quickstart: declare a two-way linked list with ADDS annotations, run
+// general path matrix analysis on the paper's shift-origin loop, and watch
+// the difference the declaration makes — exactly Section 5.1.2 of the
+// paper.
+package main
+
+import (
+	"fmt"
+
+	"repro/adds"
+)
+
+const src = `
+// The paper's Section 3.1 declaration: one dimension X, next walks it
+// uniquely forward, prev walks it backward.
+type TwoWayLL [X] {
+    int data;
+    TwoWayLL *next is uniquely forward along X;
+    TwoWayLL *prev is backward along X;
+};
+
+// Shift the origin: subtract the head's datum from every later node.
+void shift(TwoWayLL *hd) {
+    TwoWayLL *p;
+    p = hd->next;
+    while (p != NULL) {
+        p->data = p->data - hd->data;
+        p = p->next;
+    }
+}
+`
+
+func main() {
+	unit := adds.MustLoad(src)
+	an := unit.MustAnalyze("shift")
+
+	fmt.Println("== pseudo-assembly (the paper's S1..S7) ==")
+	fmt.Println(an.IR().String())
+
+	fmt.Println("== path matrix at the loop's fixed point ==")
+	m := an.LoopMatrix(0)
+	fmt.Println(m.String())
+	fmt.Printf("PM(hd, p) = %s   (paper: next+)\n", m.Entry("hd", "p"))
+	fmt.Printf("may hd and p alias? %v   (paper: no)\n\n", m.MayAlias("hd", "p"))
+
+	fmt.Println("== the same question under three analyses ==")
+	for _, o := range []adds.Oracle{
+		an.ConservativeOracle(), an.ClassicOracle(), an.GPMOracle(),
+	} {
+		dg := an.Dependences(0, o)
+		fmt.Printf("%-14s carried memory dependences: %d\n",
+			o.Name(), len(dg.CarriedMemEdges()))
+	}
+	fmt.Println("\nonly adds+gpm proves the iterations independent, which is")
+	fmt.Println("what unlocks the transformations (see examples/pipelining).")
+
+	// And the run-time side: build a real list, check the declaration.
+	h := adds.NewHeap()
+	var head, prev *adds.Node
+	for i := 0; i < 5; i++ {
+		n := h.New("TwoWayLL")
+		n.Ints["data"] = int64(10 * i)
+		if prev == nil {
+			head = n
+		} else {
+			prev.Ptrs["next"] = n
+			n.Ptrs["prev"] = prev
+		}
+		prev = n
+	}
+	fmt.Printf("\ndynamic check of a real 5-node list: %d violations\n",
+		len(unit.CheckHeap(head)))
+
+	res, err := adds.RunScalar(an.IR(), h, map[string]adds.Word{"hd": adds.RefWord(head)})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("executed shift on the scalar model: %d instructions, %d cycles\n",
+		res.Instrs, res.Cycles)
+}

@@ -1,0 +1,141 @@
+// Package alias defines the alias-oracle interface that dependence testing
+// and the transformations consume, plus the paper's comparison analyses:
+//
+//   - Conservative: every pair of same-type pointers may alias (the "assume
+//     the worst" baseline of Section 1.2, producing the all-"=?" alias
+//     matrix of Section 5.1.2).
+//   - GPM: general path matrix analysis with ADDS declarations (the paper's
+//     approach).
+//   - Classic: the same engine with the ADDS information stripped, modelling
+//     the original path matrix analysis applied without declarations.
+//
+// The k-limited storage-graph baseline lives in the klimit subpackage.
+package alias
+
+import (
+	"repro/internal/core/pathmatrix"
+	"repro/internal/norm"
+	"repro/internal/shape"
+	"repro/internal/source/types"
+)
+
+// Oracle answers alias questions about pointer variables of one function.
+// All queries are about variable values at a program point (a CFG node):
+// MayAlias/MustAlias compare values before node n executes; LoopCarried
+// compares p's value at the start of one iteration of l with q's value at
+// the start of the next.
+type Oracle interface {
+	// Name identifies the analysis in reports.
+	Name() string
+	// MayAlias reports whether p and q may point to the same node before n.
+	MayAlias(n *norm.Node, p, q string) bool
+	// MustAlias reports whether p and q definitely point to the same node.
+	MustAlias(n *norm.Node, p, q string) bool
+	// LoopCarried reports whether p at iteration i may point to the same
+	// node as q at iteration i+1 of loop l.
+	LoopCarried(l *norm.Loop, p, q string) bool
+	// Valid reports whether the declared abstraction is intact before n
+	// (always true for analyses without validation).
+	Valid(n *norm.Node) bool
+}
+
+// ---------------------------------------------------------------------------
+// Conservative baseline
+
+// Conservative is the no-analysis baseline: any two pointers of the same
+// record type are possible aliases everywhere.
+type Conservative struct {
+	g *norm.Graph
+}
+
+// NewConservative returns the conservative oracle for a function.
+func NewConservative(g *norm.Graph) *Conservative { return &Conservative{g: g} }
+
+// Name implements Oracle.
+func (c *Conservative) Name() string { return "conservative" }
+
+func (c *Conservative) sameType(p, q string) bool {
+	tp, tq := c.g.VarTypes[p], c.g.VarTypes[q]
+	return tp.Kind == types.KindPointer && tq.Kind == types.KindPointer &&
+		tp.Record == tq.Record
+}
+
+// MayAlias implements Oracle: same record type means possible alias.
+func (c *Conservative) MayAlias(_ *norm.Node, p, q string) bool {
+	return p == q || c.sameType(p, q)
+}
+
+// MustAlias implements Oracle: only a variable with itself.
+func (c *Conservative) MustAlias(_ *norm.Node, p, q string) bool { return p == q }
+
+// LoopCarried implements Oracle: always possible for same-type pointers.
+// Note p with itself across iterations may alias too (the conservative
+// analysis cannot rule out a cyclic structure).
+func (c *Conservative) LoopCarried(_ *norm.Loop, p, q string) bool {
+	return p == q || c.sameType(p, q)
+}
+
+// Valid implements Oracle: the conservative analysis asserts nothing about
+// shape, so there is never a violated abstraction to protect.
+func (c *Conservative) Valid(*norm.Node) bool { return true }
+
+// ---------------------------------------------------------------------------
+// General path matrix oracles
+
+// GPM adapts a path matrix analysis result to the Oracle interface.
+type GPM struct {
+	name  string
+	res   *pathmatrix.Result
+	iters map[*norm.Loop]*pathmatrix.Matrix
+}
+
+// NewGPM runs general path matrix analysis with the full ADDS environment.
+func NewGPM(g *norm.Graph, env *shape.Env) *GPM {
+	return &GPM{
+		name:  "adds+gpm",
+		res:   pathmatrix.Analyze(g, env),
+		iters: map[*norm.Loop]*pathmatrix.Matrix{},
+	}
+}
+
+// NewClassic runs the engine with directions stripped, modelling path matrix
+// analysis without ADDS declarations.
+func NewClassic(g *norm.Graph, env *shape.Env) *GPM {
+	return &GPM{
+		name:  "classic-pm",
+		res:   pathmatrix.Analyze(g, env.Stripped()),
+		iters: map[*norm.Loop]*pathmatrix.Matrix{},
+	}
+}
+
+// Name implements Oracle.
+func (o *GPM) Name() string { return o.name }
+
+// Result exposes the underlying analysis result (for reports that print the
+// matrices themselves).
+func (o *GPM) Result() *pathmatrix.Result { return o.res }
+
+// MayAlias implements Oracle.
+func (o *GPM) MayAlias(n *norm.Node, p, q string) bool {
+	return o.res.BeforeNode(n).MayAlias(p, q)
+}
+
+// MustAlias implements Oracle.
+func (o *GPM) MustAlias(n *norm.Node, p, q string) bool {
+	return o.res.BeforeNode(n).MustAlias(p, q)
+}
+
+// LoopCarried implements Oracle: query the primed-variable matrix.
+func (o *GPM) LoopCarried(l *norm.Loop, p, q string) bool {
+	im, ok := o.iters[l]
+	if !ok {
+		im = o.res.IterationMatrix(l)
+		o.iters[l] = im
+	}
+	return im.MayAlias(p+pathmatrix.Shadow, q)
+}
+
+// Valid implements Oracle.
+func (o *GPM) Valid(n *norm.Node) bool {
+	return o.res.BeforeNode(n).Valid()
+}

@@ -1,0 +1,451 @@
+package pathmatrix
+
+import (
+	"fmt"
+
+	"repro/internal/norm"
+	"repro/internal/shape"
+	"repro/internal/source/types"
+)
+
+// Result holds the analysis output for one function: a matrix before and
+// after every CFG node, keyed by node ID.
+type Result struct {
+	Graph  *norm.Graph
+	Env    *shape.Env
+	Before []*Matrix
+	After  []*Matrix // per node; for branches this is the pre-refinement state
+	trans  *transferer
+}
+
+// maxIterations bounds the fixed-point computation; the bounded domain
+// converges long before this, but a safety valve beats an infinite loop.
+const maxIterations = 100000
+
+// nodeVisitBudget bounds how often one CFG node is reprocessed before its
+// state is forcibly widened to the fully conservative matrix. Pathological
+// programs (e.g. stores building self-loops, which churn certainty flags
+// and via tags) can make the otherwise-finite domain oscillate; widening
+// restores guaranteed termination at the cost of precision, soundly: the
+// widened matrix admits every alias and carries a standing violation, so
+// no transformation-enabling fact survives.
+const nodeVisitBudget = 64
+
+// widenedIterationMatrix extends the widened matrix with the primed shadow
+// variables used by IterationMatrix.
+func widenedIterationMatrix(g *norm.Graph) *Matrix {
+	m := widenedMatrix(g)
+	base := g.PointerVars()
+	vars := append([]string(nil), base...)
+	for _, v := range base {
+		vars = append(vars, v+Shadow)
+	}
+	out := NewMatrix(vars)
+	for _, p := range base {
+		tp := g.VarTypes[p]
+		for _, q := range base {
+			tq := g.VarTypes[q]
+			if tp.Kind != types.KindPointer || tq.Kind != types.KindPointer ||
+				tp.Record != tq.Record {
+				continue
+			}
+			if p != q {
+				out.addRel(p, q, Rel{Kind: RelTop})
+			}
+			out.addRel(p+Shadow, q, Rel{Kind: RelTop})
+			out.addRel(p+Shadow, q+Shadow, Rel{Kind: RelTop})
+		}
+	}
+	for v := range m.viols {
+		out.viols[v] = true
+	}
+	return out
+}
+
+// widenedMatrix is the terminal conservative state for a function: every
+// pair of same-record pointers may alias, and a standing (uncleareable)
+// violation keeps MayAlias fully conservative.
+func widenedMatrix(g *norm.Graph) *Matrix {
+	vars := g.PointerVars()
+	m := NewMatrix(vars)
+	for i, p := range vars {
+		tp := g.VarTypes[p]
+		for _, q := range vars[i+1:] {
+			tq := g.VarTypes[q]
+			if tp.Kind == types.KindPointer && tq.Kind == types.KindPointer &&
+				tp.Record == tq.Record {
+				m.addRel(p, q, Rel{Kind: RelTop})
+			}
+		}
+	}
+	m.addViolation(Violation{Prop: "widened"})
+	return m
+}
+
+// Analyze runs general path matrix analysis over a normalized CFG. The env
+// is the ADDS shape environment; pass env.Stripped() to model the classic,
+// annotation-free analysis.
+func Analyze(g *norm.Graph, env *shape.Env) *Result {
+	res := &Result{
+		Graph:  g,
+		Env:    env,
+		Before: make([]*Matrix, len(g.Nodes)),
+		After:  make([]*Matrix, len(g.Nodes)),
+		trans:  &transferer{env: env},
+	}
+
+	vars := g.PointerVars()
+	init := NewMatrix(vars)
+	initParams(init, g)
+
+	// Edge states: for each node, the state flowing out along each
+	// successor edge (branches refine differently per edge).
+	edgeOut := make([][]*Matrix, len(g.Nodes))
+	for i, n := range g.Nodes {
+		edgeOut[i] = make([]*Matrix, len(n.Succs))
+	}
+
+	inState := func(n *norm.Node) *Matrix {
+		if n == g.Entry {
+			return init.Clone()
+		}
+		var acc *Matrix
+		for _, p := range n.Preds {
+			for si, s := range p.Succs {
+				if s != n {
+					continue
+				}
+				st := edgeOut[p.ID][si]
+				if st == nil {
+					continue
+				}
+				if acc == nil {
+					acc = st.Clone()
+				} else {
+					acc = Join(acc, st)
+				}
+			}
+		}
+		if acc == nil {
+			acc = NewMatrix(vars) // unreachable so far
+		}
+		return acc
+	}
+
+	work := []*norm.Node{g.Entry}
+	inWork := map[int]bool{g.Entry.ID: true}
+	visits := make([]int, len(g.Nodes))
+	var widened *Matrix
+	iter := 0
+	for len(work) > 0 {
+		if iter++; iter > maxIterations {
+			panic("pathmatrix: fixed point not reached")
+		}
+		n := work[0]
+		work = work[1:]
+		inWork[n.ID] = false
+
+		var before, after *Matrix
+		if visits[n.ID]++; visits[n.ID] > nodeVisitBudget {
+			if widened == nil {
+				widened = widenedMatrix(g)
+			}
+			before, after = widened, widened
+		} else {
+			before = inState(n)
+			after = before.Clone()
+			if n.Kind == norm.NodeStmt {
+				res.trans.apply(after, n.Stmt)
+			}
+		}
+		res.Before[n.ID] = before
+		res.After[n.ID] = after
+
+		for si, succ := range n.Succs {
+			out := after
+			if n.Kind == norm.NodeBranch && visits[n.ID] <= nodeVisitBudget {
+				out = refine(after, n.Cond, si == 0)
+			}
+			old := edgeOut[n.ID][si]
+			if old != nil && old.Equal(out) {
+				continue
+			}
+			edgeOut[n.ID][si] = out
+			if !inWork[succ.ID] {
+				work = append(work, succ)
+				inWork[succ.ID] = true
+			}
+		}
+	}
+	return res
+}
+
+// initParams seeds the entry matrix: pointer parameters of the same record
+// type may alias or be connected in unknown ways (the callee knows nothing
+// about its inputs beyond their declarations).
+func initParams(m *Matrix, g *norm.Graph) {
+	params := g.Fn.Decl.Params
+	for i, a := range params {
+		if !a.Pointer {
+			continue
+		}
+		for _, b := range params[i+1:] {
+			if b.Pointer && a.TypeName == b.TypeName {
+				m.addRel(a.Name, b.Name, Rel{Kind: RelTop})
+			}
+		}
+	}
+}
+
+// refine applies a branch condition to the matrix along one edge.
+func refine(m *Matrix, c *norm.Cond, taken bool) *Matrix {
+	kind := c.Kind
+	if !taken {
+		switch kind {
+		case norm.CondNilEQ:
+			kind = norm.CondNilNE
+		case norm.CondNilNE:
+			kind = norm.CondNilEQ
+		case norm.CondPtrEQ:
+			kind = norm.CondPtrNE
+		case norm.CondPtrNE:
+			kind = norm.CondPtrEQ
+		default:
+			return m
+		}
+	}
+	switch kind {
+	case norm.CondNilEQ:
+		// Var is NULL here: it aliases nothing and reaches nothing.
+		out := m.Clone()
+		out.kill(c.Var)
+		return out
+	case norm.CondPtrEQ:
+		out := m.Clone()
+		// The two pointers are equal: each inherits the other's relations.
+		for _, x := range out.relatedVars(c.Var) {
+			if x == c.Var2 {
+				continue
+			}
+			for _, r := range out.Entry(c.Var, x).rels() {
+				out.addRel(c.Var2, x, r)
+			}
+			for _, r := range out.Entry(x, c.Var).rels() {
+				out.addRel(x, c.Var2, r)
+			}
+		}
+		for _, x := range out.relatedVars(c.Var2) {
+			if x == c.Var {
+				continue
+			}
+			for _, r := range out.Entry(c.Var2, x).rels() {
+				out.addRel(c.Var, x, r)
+			}
+			for _, r := range out.Entry(x, c.Var2).rels() {
+				out.addRel(x, c.Var, r)
+			}
+		}
+		out.addRel(c.Var, c.Var2, Rel{Kind: RelAlias, Certain: true})
+		return out
+	case norm.CondPtrNE:
+		// Provably distinct: drop alias relations, keep paths.
+		out := m.Clone()
+		for _, pair := range [][2]string{{c.Var, c.Var2}, {c.Var2, c.Var}} {
+			e := out.Entry(pair[0], pair[1])
+			if e == nil {
+				continue
+			}
+			ne := Entry{}
+			for _, r := range e.rels() {
+				if r.Kind == RelAlias {
+					continue
+				}
+				ne = ne.add(r)
+			}
+			out.set(pair[0], pair[1], ne)
+		}
+		return out
+	}
+	return m
+}
+
+// AtEntry returns the matrix at function entry.
+func (r *Result) AtEntry() *Matrix { return r.Before[r.Graph.Entry.ID] }
+
+// BeforeNode and AfterNode return the matrices around a node; they return an
+// empty matrix for unreachable nodes.
+func (r *Result) BeforeNode(n *norm.Node) *Matrix {
+	if m := r.Before[n.ID]; m != nil {
+		return m
+	}
+	return NewMatrix(r.Graph.PointerVars())
+}
+
+// AfterNode returns the matrix after a node executes.
+func (r *Result) AfterNode(n *norm.Node) *Matrix {
+	if m := r.After[n.ID]; m != nil {
+		return m
+	}
+	return NewMatrix(r.Graph.PointerVars())
+}
+
+// LoopHead returns the fixed-point matrix at a loop's head (inside the loop,
+// after the condition has been found true).
+func (r *Result) LoopHead(l *norm.Loop) *Matrix {
+	// Body entry is Succs[0] of the branch.
+	if len(l.Branch.Succs) > 0 {
+		return r.BeforeNode(l.Branch.Succs[0])
+	}
+	return r.BeforeNode(l.Head)
+}
+
+// Shadow is the suffix given to previous-iteration variables in the
+// cross-iteration matrix (the paper's primed variables, e.g. p').
+const Shadow = "'"
+
+// IterationMatrix computes the paper's primed-variable view for a loop: the
+// matrix relating each pointer variable's value at the start of iteration i
+// (suffixed with Shadow) to every variable's value after the body has
+// executed once (unsuffixed). PM(p', p) = next means each iteration advances
+// p by exactly one next link.
+func (r *Result) IterationMatrix(l *norm.Loop) *Matrix {
+	base := r.LoopHead(l)
+
+	// Extend the variable set with shadows and copy all relations, making
+	// shadow x' an exact alias of x.
+	vars := append([]string(nil), base.vars...)
+	for _, v := range base.vars {
+		vars = append(vars, v+Shadow)
+	}
+	m := NewMatrix(vars)
+	for k, e := range base.cells {
+		m.cells[k] = e.clone()
+	}
+	for v := range base.viols {
+		m.viols[v] = true
+	}
+	for _, v := range base.vars {
+		sh := v + Shadow
+		m.copyRelations(sh, v)
+		m.addRel(sh, v, Rel{Kind: RelAlias, Certain: true})
+	}
+
+	// Run one symbolic body execution as a localized dataflow over the body
+	// subgraph: inner branches join properly, inner loops reach their own
+	// fixed points. Body nodes only write unshadowed variables, so shadows
+	// keep their iteration-start values. States flowing along back edges
+	// into the loop head are joined to form the result.
+	bodyEntry := l.Branch.Succs[0]
+	states := map[int]*Matrix{bodyEntry.ID: m}
+	edgeOut := map[int][]*Matrix{}
+	work := []*norm.Node{bodyEntry}
+	inWork := map[int]bool{bodyEntry.ID: true}
+	visits := map[int]int{}
+	var widened *Matrix
+	var result *Matrix
+	iter := 0
+	for len(work) > 0 {
+		if iter++; iter > maxIterations {
+			panic("pathmatrix: iteration matrix fixed point not reached")
+		}
+		n := work[0]
+		work = work[1:]
+		inWork[n.ID] = false
+
+		forceWiden := false
+		if visits[n.ID]++; visits[n.ID] > nodeVisitBudget {
+			forceWiden = true
+		}
+		before := states[n.ID]
+		if n != bodyEntry {
+			before = nil
+			for _, p := range n.Preds {
+				if !l.Body[p] {
+					continue
+				}
+				for si, s := range p.Succs {
+					if s != n || edgeOut[p.ID] == nil || edgeOut[p.ID][si] == nil {
+						continue
+					}
+					if before == nil {
+						before = edgeOut[p.ID][si].Clone()
+					} else {
+						before = Join(before, edgeOut[p.ID][si])
+					}
+				}
+			}
+			if before == nil {
+				continue
+			}
+		}
+		var after *Matrix
+		if forceWiden {
+			if widened == nil {
+				widened = widenedIterationMatrix(r.Graph)
+			}
+			after = widened
+		} else {
+			after = before.Clone()
+			if n.Kind == norm.NodeStmt {
+				r.trans.apply(after, n.Stmt)
+			}
+		}
+		if edgeOut[n.ID] == nil {
+			edgeOut[n.ID] = make([]*Matrix, len(n.Succs))
+		}
+		for si, succ := range n.Succs {
+			out := after
+			if n.Kind == norm.NodeBranch && !forceWiden {
+				out = refine(after, n.Cond, si == 0)
+			}
+			if succ == l.Head {
+				// Back edge: this state describes the end of the iteration.
+				if result == nil {
+					result = out.Clone()
+				} else {
+					result = Join(result, out)
+				}
+				continue
+			}
+			if !l.Body[succ] {
+				continue // exits the loop (break-like edge)
+			}
+			old := edgeOut[n.ID][si]
+			if old != nil && old.Equal(out) {
+				continue
+			}
+			edgeOut[n.ID][si] = out
+			if !inWork[succ.ID] {
+				work = append(work, succ)
+				inWork[succ.ID] = true
+			}
+		}
+	}
+	if result == nil {
+		return m // body never completes (always returns/exits)
+	}
+	return result
+}
+
+// FuncResult bundles per-function results for a whole program.
+type FuncResult struct {
+	Info   *types.FuncInfo
+	Graph  *norm.Graph
+	Result *Result
+}
+
+// AnalyzeProgram runs the analysis over every function of a checked program.
+func AnalyzeProgram(info *types.Info, env *shape.Env) map[string]*FuncResult {
+	out := map[string]*FuncResult{}
+	for name, fi := range info.Funcs {
+		g := norm.Build(fi, info.Env)
+		out[name] = &FuncResult{Info: fi, Graph: g, Result: Analyze(g, env)}
+	}
+	return out
+}
+
+// String renders a short summary of the result (entry and exit matrices).
+func (r *Result) String() string {
+	return fmt.Sprintf("entry:\n%s\nexit:\n%s",
+		r.BeforeNode(r.Graph.Entry), r.BeforeNode(r.Graph.Exit))
+}

@@ -1,0 +1,287 @@
+package pathmatrix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Matrix is a path matrix at one program point: relations between every
+// ordered pair of live pointer variables, plus the set of currently
+// outstanding abstraction violations. Alias relations (RelAlias, RelTop) are
+// stored symmetrically in both cells; path relations are directional.
+type Matrix struct {
+	vars  []string // display order
+	cells map[[2]string]Entry
+	viols map[Violation]bool
+}
+
+// NewMatrix returns an empty matrix over the variables.
+func NewMatrix(vars []string) *Matrix {
+	return &Matrix{
+		vars:  append([]string(nil), vars...),
+		cells: map[[2]string]Entry{},
+		viols: map[Violation]bool{},
+	}
+}
+
+// Vars returns the variables, in display order.
+func (m *Matrix) Vars() []string { return m.vars }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{
+		vars:  m.vars,
+		cells: make(map[[2]string]Entry, len(m.cells)),
+		viols: make(map[Violation]bool, len(m.viols)),
+	}
+	for k, v := range m.cells {
+		out.cells[k] = v.clone()
+	}
+	for k := range m.viols {
+		out.viols[k] = true
+	}
+	return out
+}
+
+// Entry returns PM(p, q); nil means no relation.
+func (m *Matrix) Entry(p, q string) Entry { return m.cells[[2]string{p, q}] }
+
+// set replaces PM(p, q).
+func (m *Matrix) set(p, q string, e Entry) {
+	k := [2]string{p, q}
+	if len(e) == 0 {
+		delete(m.cells, k)
+		return
+	}
+	m.cells[k] = e
+}
+
+// addRel inserts one relation into PM(p, q). Alias and Top relations are
+// mirrored into PM(q, p). Self-cells are never stored.
+func (m *Matrix) addRel(p, q string, r Rel) {
+	if p == q {
+		return
+	}
+	m.set(p, q, m.Entry(p, q).add(r))
+	if r.Kind == RelAlias || r.Kind == RelTop {
+		m.set(q, p, m.Entry(q, p).add(r))
+	}
+}
+
+// kill removes every relation involving v (v was redefined or nulled), and
+// marks stale any Via tags that reference v so later stores do not remove
+// relations belonging to the variable's previous value.
+func (m *Matrix) kill(v string) {
+	for k := range m.cells {
+		if k[0] == v || k[1] == v {
+			delete(m.cells, k)
+		}
+	}
+	m.staleVia(v)
+}
+
+// staleVia marks Via tags naming v as stale.
+func (m *Matrix) staleVia(v string) {
+	for k, e := range m.cells {
+		var changed Entry
+		for rk, r := range e {
+			if r.Via.Var == v && !r.Via.Stale {
+				if changed == nil {
+					changed = e.clone()
+				}
+				delete(changed, rk)
+				r.Via.Stale = true
+				changed = changed.add(r)
+			}
+		}
+		if changed != nil {
+			m.cells[k] = changed
+		}
+	}
+}
+
+// copyRelations makes dst's relations identical to src's (dst = src).
+func (m *Matrix) copyRelations(dst, src string) {
+	type upd struct {
+		p, q string
+		e    Entry
+	}
+	var updates []upd
+	for k, e := range m.cells {
+		switch {
+		case k[0] == src && k[1] != dst:
+			updates = append(updates, upd{dst, k[1], e.clone()})
+		case k[1] == src && k[0] != dst:
+			updates = append(updates, upd{k[0], dst, e.clone()})
+		}
+	}
+	for _, u := range updates {
+		m.set(u.p, u.q, u.e)
+	}
+}
+
+// related reports whether p and q have any recorded relation in either
+// direction.
+func (m *Matrix) related(p, q string) bool {
+	return len(m.Entry(p, q)) > 0 || len(m.Entry(q, p)) > 0
+}
+
+// relatedVars returns every variable related to p (excluding p itself), in
+// stable order.
+func (m *Matrix) relatedVars(p string) []string {
+	set := map[string]bool{}
+	for k := range m.cells {
+		if k[0] == p {
+			set[k[1]] = true
+		}
+		if k[1] == p {
+			set[k[0]] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// addViolation records an abstraction violation.
+func (m *Matrix) addViolation(v Violation) { m.viols[v] = true }
+
+// Violations returns outstanding violations in stable order.
+func (m *Matrix) Violations() []Violation {
+	out := make([]Violation, 0, len(m.viols))
+	for v := range m.viols {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Valid reports whether the abstraction is currently valid (no outstanding
+// violations) — the paper's precondition for using ADDS-derived facts in
+// transformations.
+func (m *Matrix) Valid() bool { return len(m.viols) == 0 }
+
+// MayAlias reports whether p and q may point to the same node. Identical
+// names trivially alias. The empty-entry rule applies only while the
+// abstraction is valid; with outstanding violations every related pair is
+// suspect, and we conservatively also treat unrelated pairs as possible
+// aliases because derived facts may be missing.
+func (m *Matrix) MayAlias(p, q string) bool {
+	if p == q {
+		return true
+	}
+	if !m.Valid() {
+		return true
+	}
+	return m.Entry(p, q).hasAliasInfo() || m.Entry(q, p).hasAliasInfo()
+}
+
+// MustAlias reports whether p and q definitely point to the same node.
+func (m *Matrix) MustAlias(p, q string) bool {
+	if p == q {
+		return true
+	}
+	return m.Entry(p, q).mustAlias() && m.Entry(q, p).mustAlias()
+}
+
+// Join merges two matrices (control-flow join).
+func Join(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.vars)
+	keys := map[[2]string]bool{}
+	for k := range a.cells {
+		keys[k] = true
+	}
+	for k := range b.cells {
+		keys[k] = true
+	}
+	for k := range keys {
+		out.set(k[0], k[1], joinEntries(a.cells[k], b.cells[k]))
+	}
+	for v := range a.viols {
+		out.viols[v] = true
+	}
+	for v := range b.viols {
+		out.viols[v] = true
+	}
+	return out
+}
+
+// Equal compares matrices for fixed-point detection.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if len(m.cells) != len(o.cells) || len(m.viols) != len(o.viols) {
+		return false
+	}
+	for k, e := range m.cells {
+		if !equalEntries(e, o.cells[k]) {
+			return false
+		}
+	}
+	for v := range m.viols {
+		if !o.viols[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix as an aligned table in the paper's style, using
+// only variables that have at least one relation (plus all declared vars
+// when small). Temporaries with no relations are omitted.
+func (m *Matrix) String() string {
+	vars := m.displayVars()
+	width := 3
+	for _, v := range vars {
+		if len(v) > width {
+			width = len(v)
+		}
+	}
+	cell := func(s string) string { return fmt.Sprintf(" %-*s |", width+3, s) }
+	var b strings.Builder
+	b.WriteString(cell(""))
+	for _, q := range vars {
+		b.WriteString(cell(q))
+	}
+	b.WriteByte('\n')
+	for _, p := range vars {
+		b.WriteString(cell(p))
+		for _, q := range vars {
+			if p == q {
+				b.WriteString(cell("="))
+				continue
+			}
+			b.WriteString(cell(m.Entry(p, q).String()))
+		}
+		b.WriteByte('\n')
+	}
+	if len(m.viols) > 0 {
+		b.WriteString("violations:")
+		for _, v := range m.Violations() {
+			b.WriteString(" " + v.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// displayVars returns declared variables plus any temporaries that carry
+// relations.
+func (m *Matrix) displayVars() []string {
+	used := map[string]bool{}
+	for k, e := range m.cells {
+		if len(e) > 0 {
+			used[k[0]] = true
+			used[k[1]] = true
+		}
+	}
+	var out []string
+	for _, v := range m.vars {
+		if !strings.HasPrefix(v, "@t") || used[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

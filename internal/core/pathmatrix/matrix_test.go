@@ -1,0 +1,167 @@
+package pathmatrix
+
+import (
+	"strings"
+	"testing"
+)
+
+func alias(certain bool) Rel { return Rel{Kind: RelAlias, Certain: certain} }
+func pathRel(f string, certain bool) Rel {
+	return Rel{Kind: RelPath, Certain: certain, Path: single(f)}
+}
+
+func TestMatrixAddAndQuery(t *testing.T) {
+	m := NewMatrix([]string{"a", "b", "c"})
+	m.addRel("a", "b", alias(true))
+	if !m.MustAlias("a", "b") || !m.MustAlias("b", "a") {
+		t.Error("alias must be symmetric")
+	}
+	m.addRel("a", "c", pathRel("next", true))
+	if m.MayAlias("a", "c") {
+		t.Error("a path is not an alias")
+	}
+	if !m.related("a", "c") || m.related("b", "c") {
+		t.Error("related wrong")
+	}
+	if got := m.relatedVars("a"); len(got) != 2 {
+		t.Errorf("relatedVars = %v", got)
+	}
+}
+
+func TestMatrixSelfCellIgnored(t *testing.T) {
+	m := NewMatrix([]string{"a"})
+	m.addRel("a", "a", alias(true))
+	if len(m.cells) != 0 {
+		t.Error("diagonal must not be stored")
+	}
+	if !m.MustAlias("a", "a") {
+		t.Error("reflexive must-alias is implicit")
+	}
+}
+
+func TestMatrixKillAndStaleVia(t *testing.T) {
+	m := NewMatrix([]string{"a", "b", "c"})
+	m.addRel("a", "b", Rel{Kind: RelPath, Path: single("f"),
+		Via: Via{Var: "c", Field: "f"}})
+	m.kill("c")
+	// The relation survives but its via is stale (c's old value is gone).
+	e := m.Entry("a", "b")
+	if len(e) != 1 {
+		t.Fatalf("entry = %v", e)
+	}
+	for _, r := range e {
+		if !r.Via.Stale {
+			t.Error("via should be stale after killing its variable")
+		}
+	}
+
+	m.addRel("a", "c", alias(false))
+	m.kill("a")
+	if m.related("a", "b") || m.related("a", "c") {
+		t.Error("kill must drop all relations of the variable")
+	}
+}
+
+func TestMatrixCopyRelations(t *testing.T) {
+	m := NewMatrix([]string{"a", "b", "c"})
+	m.addRel("a", "b", pathRel("next", true))
+	m.addRel("c", "a", pathRel("prev", false))
+	m.copyRelations("d", "a")
+	if m.Entry("d", "b").String() != "next" {
+		t.Errorf("copied out-relation = %q", m.Entry("d", "b"))
+	}
+	if m.Entry("c", "d").String() != "prev?" {
+		t.Errorf("copied in-relation = %q", m.Entry("c", "d"))
+	}
+}
+
+func TestJoinDropsOneSidedCertainty(t *testing.T) {
+	a := NewMatrix([]string{"p", "q"})
+	a.addRel("p", "q", alias(true))
+	b := NewMatrix([]string{"p", "q"})
+	j := Join(a, b)
+	if j.MustAlias("p", "q") {
+		t.Error("one-sided alias must demote")
+	}
+	if !j.MayAlias("p", "q") {
+		t.Error("may-alias info must survive the join")
+	}
+}
+
+func TestJoinUnionsViolations(t *testing.T) {
+	a := NewMatrix([]string{"p"})
+	a.addViolation(Violation{Prop: "acyclic", Field: "next", Base: "p"})
+	b := NewMatrix([]string{"p"})
+	j := Join(a, b)
+	if j.Valid() {
+		t.Error("violations must union at joins")
+	}
+	if len(j.Violations()) != 1 {
+		t.Errorf("violations = %v", j.Violations())
+	}
+}
+
+func TestInvalidMatrixIsFullyConservative(t *testing.T) {
+	m := NewMatrix([]string{"p", "q"})
+	if m.MayAlias("p", "q") {
+		t.Error("no relations, valid: not aliases")
+	}
+	m.addViolation(Violation{Prop: "unique", Field: "next", Base: "p"})
+	if !m.MayAlias("p", "q") {
+		t.Error("while invalid, everything may alias")
+	}
+}
+
+func TestMatrixEqual(t *testing.T) {
+	a := NewMatrix([]string{"p", "q"})
+	a.addRel("p", "q", pathRel("next", true))
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone must be equal")
+	}
+	b.addRel("p", "q", alias(false))
+	if a.Equal(b) {
+		t.Error("different entries must differ")
+	}
+	c := a.Clone()
+	c.addViolation(Violation{Prop: "acyclic", Field: "next", Base: "p"})
+	if a.Equal(c) {
+		t.Error("violations participate in equality")
+	}
+}
+
+func TestMatrixCloneIsDeep(t *testing.T) {
+	a := NewMatrix([]string{"p", "q"})
+	a.addRel("p", "q", pathRel("next", true))
+	b := a.Clone()
+	b.kill("p")
+	if len(a.Entry("p", "q")) == 0 {
+		t.Error("clone aliased the original's cells")
+	}
+}
+
+func TestMatrixStringHidesBareTemps(t *testing.T) {
+	m := NewMatrix([]string{"p", "@t1", "@t2"})
+	m.addRel("p", "@t1", pathRel("next", true))
+	s := m.String()
+	if !strings.Contains(s, "@t1") {
+		t.Error("temp with relations must display")
+	}
+	if strings.Contains(s, "@t2") {
+		t.Error("relation-free temp must be hidden")
+	}
+}
+
+// BenchmarkMatrixJoin measures the join cost on realistic small matrices.
+func BenchmarkMatrixJoin(b *testing.B) {
+	a := NewMatrix([]string{"hd", "p", "q", "r"})
+	a.addRel("hd", "p", pathRel("next", true))
+	a.addRel("hd", "q", pathRel("next", false))
+	a.addRel("p", "q", alias(false))
+	c := a.Clone()
+	c.addRel("q", "r", pathRel("prev", true))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Join(a, c)
+	}
+}

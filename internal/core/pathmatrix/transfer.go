@@ -1,0 +1,746 @@
+package pathmatrix
+
+import (
+	"repro/internal/norm"
+	"repro/internal/shape"
+)
+
+// stepInfo resolves a path step field to its direction and dimension,
+// handling dimension pseudo-fields (forward along their dimension).
+func stepInfo(st *shape.Type, field string) (dir shape.Direction, dim string, ok bool) {
+	if IsDimField(field) {
+		return shape.Forward, field[1:], true
+	}
+	f := st.Field(field)
+	if f == nil {
+		return shape.None, "", false
+	}
+	return f.Dir, f.Dim, true
+}
+
+// forwardish reports whether the direction moves away from the origin.
+func forwardish(d shape.Direction) bool {
+	return d == shape.Forward || d == shape.UniquelyForward
+}
+
+// widenPath merges adjacent steps over different forward fields of the same
+// dimension into a dimension pseudo-step — the paper's "down" widening for
+// trees. Without it, tree-walking loops accumulate unboundedly many distinct
+// left/right interleavings and the entry saturates to Top.
+func widenPath(p Path, st *shape.Type) Path {
+	if st == nil {
+		return p
+	}
+	out := make(Path, 0, len(p))
+	for _, s := range p {
+		if n := len(out); n > 0 && mergeableSteps(st, out[n-1], s) {
+			_, dim, _ := stepInfo(st, s.Field)
+			prev := out[n-1]
+			out[n-1] = Step{
+				Field: DimField(dim),
+				Min:   prev.Min + s.Min,
+				Plus:  prev.Plus || s.Plus,
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// mergeableSteps reports whether two adjacent steps over different fields
+// may be widened into one dimension pseudo-step.
+func mergeableSteps(st *shape.Type, a, b Step) bool {
+	if a.Field == b.Field {
+		return false // canon handles same-field merging precisely
+	}
+	da, dima, oka := stepInfo(st, a.Field)
+	db, dimb, okb := stepInfo(st, b.Field)
+	return oka && okb && dima == dimb && forwardish(da) && forwardish(db)
+}
+
+// normConcat concatenates, widens and canonicalizes; ok=false means the
+// result must degrade to Top.
+func normConcat(st *shape.Type, a, b Path) (Path, bool) {
+	joined, ok := concat(a, b)
+	if !ok {
+		return nil, false
+	}
+	return canon(widenPath(joined, st))
+}
+
+// transferer applies normalized statements to matrices, consulting the shape
+// environment for the ADDS-informed rules of Section 5.1.
+type transferer struct {
+	env *shape.Env
+}
+
+// apply mutates m according to stmt.
+func (t *transferer) apply(m *Matrix, s *norm.Stmt) {
+	switch s.Op {
+	case norm.Assign:
+		t.assign(m, s.Dst, s.Src)
+	case norm.AssignNil, norm.AssignNew:
+		// A fresh node is unrelated to everything; NULL aliases nothing.
+		m.kill(s.Dst)
+	case norm.Deref:
+		t.deref(m, s.Dst, s.Src, s.Field, s.TypeName)
+	case norm.StorePtr:
+		t.store(m, s.Base, s.Field, s.Src, s.TypeName)
+	case norm.Free:
+		m.kill(s.Base)
+	case norm.Call:
+		t.call(m, s.Args)
+	case norm.ScalarRead, norm.ScalarWrite, norm.ScalarOp:
+		// No pointer effect.
+	}
+}
+
+func (t *transferer) assign(m *Matrix, dst, src string) {
+	if dst == src {
+		return
+	}
+	m.kill(dst)
+	m.copyRelations(dst, src)
+	m.addRel(dst, src, Rel{Kind: RelAlias, Certain: true})
+}
+
+// pending is a relation to install after the whole statement has been
+// derived from the pre-state.
+type pending struct {
+	p, q string
+	rel  Rel
+}
+
+// deref applies p = q->f (dst = src->field), the central ADDS-informed rule.
+// All derivations read the pre-state; dst's old value dies first.
+func (t *transferer) deref(m *Matrix, dst, src, field, record string) {
+	st := t.env.Type(record)
+	var fld *shape.Field
+	if st != nil {
+		fld = st.Field(field)
+	}
+
+	var adds []pending
+	add := func(p, q string, r Rel) { adds = append(adds, pending{p, q, r}) }
+
+	// Unknown or circular traversal: the paper's conservative case — the
+	// target may be any node of the structure, so dst may alias src and
+	// every variable related to src.
+	if st == nil || fld == nil || !fld.Acyclic() {
+		add(src, dst, Rel{Kind: RelTop})
+		for _, x := range m.relatedVars(src) {
+			add(x, dst, Rel{Kind: RelTop})
+		}
+		t.install(m, dst, src, adds)
+		return
+	}
+
+	if fld.Dir == shape.Backward {
+		t.derefBackward(m, dst, src, fld, st, add)
+		t.install(m, dst, src, adds)
+		return
+	}
+
+	// Forward or uniquely forward: Def 4.2 — the target is one step deeper
+	// and was never visited before.
+	add(src, dst, Rel{Kind: RelPath, Certain: true, Path: single(field)})
+	if fld.Dir == shape.UniquelyForward {
+		if bp := st.BackwardPartner(field); bp != nil {
+			// Def 4.6: dst->b is src or NULL.
+			add(dst, src, Rel{Kind: RelPath, Path: single(bp.Name)})
+		}
+	}
+
+	for _, x := range m.relatedVars(src) {
+		if x == dst {
+			continue // dst's old value dies; ignore stale relations
+		}
+		for _, r := range m.Entry(x, src).rels() {
+			switch r.Kind {
+			case RelAlias:
+				// x == src, so x->f == dst.
+				add(x, dst, Rel{Kind: RelPath, Certain: r.Certain, Path: single(field)})
+			case RelTop:
+				add(x, dst, Rel{Kind: RelTop})
+			case RelPath:
+				if ext, ok := normConcat(st, r.Path, single(field)); ok {
+					add(x, dst, Rel{Kind: RelPath, Certain: r.Certain, Path: ext})
+				} else {
+					add(x, dst, Rel{Kind: RelTop})
+				}
+			}
+		}
+		for _, r := range m.Entry(src, x).rels() {
+			switch r.Kind {
+			case RelAlias, RelTop:
+				// Mirrored in Entry(x, src); handled above.
+			case RelPath:
+				t.derefForwardOut(x, r, fld, st, add)
+			}
+		}
+	}
+	t.install(m, dst, src, adds)
+}
+
+// derefForwardOut handles a path src -> x while deriving dst = src->f:
+// what relation does dst have with x?
+func (t *transferer) derefForwardOut(x string, r Rel, fld *shape.Field, st *shape.Type, add func(string, string, Rel)) {
+	field := fld.Name
+	if r.Path.startsWith(field) {
+		// Field dereference is functional: src->f is a single node, so a
+		// one-step must-path means dst IS x's node.
+		for _, sr := range stripLeading(r.Path, field) {
+			if !sr.ok {
+				continue
+			}
+			if sr.alias {
+				add("", x, Rel{Kind: RelAlias, Certain: r.Certain && exactOneStep(r.Path, field)})
+			} else {
+				add("", x, Rel{Kind: RelPath, Certain: r.Certain && !headIsPlus(r.Path, field), Path: sr.path})
+			}
+		}
+		return
+	}
+	// A path starting with the dimension pseudo-field of fld's dimension
+	// may begin with fld itself: strip one widened step, everything
+	// uncertain (the pseudo-step does not say which sibling was taken).
+	if df := DimField(fld.Dim); r.Path.startsWith(df) {
+		for _, sr := range stripLeading(r.Path, df) {
+			if !sr.ok {
+				continue
+			}
+			if sr.alias {
+				add("", x, Rel{Kind: RelAlias})
+			} else {
+				add("", x, Rel{Kind: RelPath, Path: sr.path})
+			}
+		}
+		return
+	}
+	// Path leaves src through a different field g. Decide, using the ADDS
+	// declaration, whether the f-subtree and the g-reachable region are
+	// provably disjoint.
+	if t.disjointDeparture(r.Path, fld, st) {
+		return // provably unrelated: leave the entry empty
+	}
+	add("", x, Rel{Kind: RelTop})
+}
+
+// exactOneStep reports whether the path is exactly field^1.
+func exactOneStep(p Path, field string) bool {
+	return len(p) == 1 && p[0].Field == field && p[0].Min == 1 && !p[0].Plus
+}
+
+// headIsPlus reports whether the leading step has a "+" multiplicity, which
+// makes any strip outcome uncertain.
+func headIsPlus(p Path, field string) bool {
+	return len(p) > 0 && p[0].Field == field && p[0].Plus
+}
+
+// disjointDeparture reports whether a path beginning with a field other than
+// fld provably cannot reach the node fld points to:
+//
+//   - the first step is a combined-group sibling of fld (Defs 4.7-4.8:
+//     disjoint substructures),
+//   - every step is forward along a dimension independent of fld's (Def 4.9a),
+//   - the first step is fld's backward partner (Def 4.6: the mirrored
+//     forward relation is recorded symmetrically, so nothing is lost).
+func (t *transferer) disjointDeparture(p Path, fld *shape.Field, st *shape.Type) bool {
+	if len(p) == 0 {
+		return false
+	}
+	firstDir, firstDim, ok := stepInfo(st, p[0].Field)
+	if !ok {
+		return false
+	}
+	if fld.Dir == shape.UniquelyForward && st.SameGroup(fld.Name, p[0].Field) {
+		return true
+	}
+	if firstDir == shape.Backward && firstDim == fld.Dim {
+		return true
+	}
+	allIndependentForward := true
+	for _, step := range p {
+		dir, dim, ok := stepInfo(st, step.Field)
+		if !ok || !forwardish(dir) || !st.Independent(dim, fld.Dim) {
+			allIndependentForward = false
+			break
+		}
+	}
+	return allIndependentForward
+}
+
+// derefBackward applies dst = src->b for a backward field (Def 4.6): dst is
+// the unique-forward predecessor of src along b's dimension.
+func (t *transferer) derefBackward(m *Matrix, dst, src string, fld *shape.Field, st *shape.Type, add func(string, string, Rel)) {
+	partners := st.ForwardPartners(fld.Name)
+	if len(partners) == 0 {
+		// No unique-forward partner at all: treat like unknown.
+		add(src, dst, Rel{Kind: RelTop})
+		for _, x := range m.relatedVars(src) {
+			add(x, dst, Rel{Kind: RelTop})
+		}
+		return
+	}
+	// With one partner f, dst->f == src exactly (Def 4.6). With a combined
+	// group (e.g. parent vs left/right), dst->g == src for exactly one
+	// group member g, so every derived relation is uncertain.
+	grouped := len(partners) > 1
+	for _, p := range partners {
+		add(dst, src, Rel{Kind: RelPath, Certain: !grouped, Path: single(p.Name)})
+	}
+
+	// If the backward edge itself was recorded (a store y->b = z through a
+	// must-alias of src), the target is known directly: dst aliases z.
+	for k, e := range m.cells {
+		y, z := k[0], k[1]
+		if y != src && !m.MustAlias(y, src) {
+			continue
+		}
+		for _, r := range e.rels() {
+			if r.Kind == RelPath && exactOneStep(r.Path, fld.Name) {
+				add("", z, Rel{Kind: RelAlias, Certain: r.Certain && m.MustAlias(y, src)})
+			}
+		}
+		_ = z
+	}
+
+	for _, x := range m.relatedVars(src) {
+		if x == dst {
+			continue
+		}
+		for _, r := range m.Entry(x, src).rels() {
+			switch r.Kind {
+			case RelAlias:
+				// x == src: dst->uf == x for one of the partners.
+				for _, p := range partners {
+					add(dst, x, Rel{Kind: RelPath, Certain: r.Certain && !grouped, Path: single(p.Name)})
+				}
+			case RelTop:
+				add(x, dst, Rel{Kind: RelTop})
+			case RelPath:
+				t.backwardIn(x, r, partners, add)
+			}
+		}
+		for _, r := range m.Entry(src, x).rels() {
+			switch r.Kind {
+			case RelAlias, RelTop:
+				// Mirrored; handled above.
+			case RelPath:
+				// dst --uf--> src --path--> x, for one of the partners.
+				for _, p := range partners {
+					if ext, ok := normConcat(st, single(p.Name), r.Path); ok {
+						add(dst, x, Rel{Kind: RelPath, Certain: r.Certain && !grouped, Path: ext})
+					} else {
+						add(dst, x, Rel{Kind: RelTop})
+					}
+				}
+			}
+		}
+	}
+}
+
+// backwardIn derives dst's relation with x from a path x --π--> src while
+// computing dst = src->b: dst is src's forward predecessor, so π minus its
+// trailing forward step leads from x to dst. A trailing dimension
+// pseudo-step of the partners' dimension also strips (uncertainly).
+func (t *transferer) backwardIn(x string, r Rel, partners []*shape.Field, add func(string, string, Rel)) {
+	if df := DimField(partners[0].Dim); r.Path.endsWith(df) {
+		for _, sr := range stripTrailing(r.Path, df) {
+			if !sr.ok {
+				continue
+			}
+			if sr.alias {
+				add(x, "", Rel{Kind: RelAlias})
+			} else {
+				add(x, "", Rel{Kind: RelPath, Path: sr.path})
+			}
+		}
+		return
+	}
+	matched := false
+	for _, p := range partners {
+		uf := p.Name
+		if !r.Path.endsWith(uf) {
+			continue
+		}
+		matched = true
+		tailExact := !r.Path[len(r.Path)-1].Plus && r.Path[len(r.Path)-1].Min == 1
+		for _, sr := range stripTrailing(r.Path, uf) {
+			if !sr.ok {
+				continue
+			}
+			if sr.alias {
+				// x's forward child is src, so x IS src's predecessor —
+				// certain even for grouped partners (Def 4.6 per member).
+				add(x, "", Rel{Kind: RelAlias,
+					Certain: r.Certain && tailExact && len(r.Path) == 1})
+			} else {
+				add(x, "", Rel{Kind: RelPath, Certain: false, Path: sr.path})
+			}
+		}
+	}
+	if !matched {
+		// Reaches src by some other final step; its relation to src's
+		// forward predecessor is unknown.
+		add(x, "", Rel{Kind: RelTop})
+	}
+}
+
+// install kills dst and applies pending relations, resolving the "" marker
+// used by derefForwardOut for the destination.
+func (t *transferer) install(m *Matrix, dst, src string, adds []pending) {
+	m.kill(dst)
+	for _, a := range adds {
+		p, q := a.p, a.q
+		if p == "" {
+			p = dst
+		}
+		if q == "" {
+			q = dst
+		}
+		m.addRel(p, q, a.rel)
+	}
+	_ = src
+}
+
+// ---------------------------------------------------------------------------
+// Stores and validation (Section 5.1.1)
+
+// store applies base->field = src (src == "" for NULL): edge removal,
+// abstraction validation, edge addition, and structure-merge completeness.
+func (t *transferer) store(m *Matrix, base, field, src, record string) {
+	st := t.env.Type(record)
+	var fld *shape.Field
+	if st != nil {
+		fld = st.Field(field)
+	}
+
+	t.removeOverwrittenEdge(m, base, field)
+	t.clearRepairedViolations(m, base, field, st)
+
+	if st != nil && fld != nil {
+		t.validateStore(m, base, field, src, fld, st)
+	}
+
+	if src == "" {
+		return
+	}
+
+	// The new edge: base --field--> src's node.
+	m.addRel(base, src, Rel{
+		Kind: RelPath, Certain: true, Path: single(field),
+		Via: Via{Var: base, Field: field},
+	})
+
+	// Structure merge: everything related to base joins everything related
+	// to src. Record the composite path when both halves are known paths;
+	// otherwise a Top relation keeps the completeness invariant (two
+	// pointers into one structure always share a recorded relation).
+	xs := append(m.relatedVars(base), base)
+	ys := append(m.relatedVars(src), src)
+	for _, x := range xs {
+		for _, y := range ys {
+			if x == y || m.related(x, y) {
+				continue
+			}
+			if x == base && y == src {
+				continue
+			}
+			t.mergeRelation(m, x, y, base, field, src, st)
+		}
+	}
+}
+
+// mergeRelation relates x (on base's side) with y (on src's side) after the
+// store base->field = src.
+func (t *transferer) mergeRelation(m *Matrix, x, y, base, field, src string, st *shape.Type) {
+	via := Via{Var: base, Field: field}
+	toBase := pathOrAlias(m, x, base)
+	fromSrc := pathOrAlias(m, src, y)
+	if toBase == nil || fromSrc == nil {
+		m.addRel(x, y, Rel{Kind: RelTop})
+		return
+	}
+	full := append(append(Path{}, toBase...), Step{Field: field, Min: 1})
+	full = append(full, fromSrc...)
+	if p, ok := canon(widenPath(full, st)); ok {
+		m.addRel(x, y, Rel{Kind: RelPath, Path: p, Via: via})
+	} else {
+		m.addRel(x, y, Rel{Kind: RelTop})
+	}
+}
+
+// pathOrAlias returns a path from p to q derivable from the matrix: the
+// empty (zero-length) path when they must alias, a recorded path, or nil
+// when no path form exists. A non-nil zero-length result uses an empty Path.
+func pathOrAlias(m *Matrix, p, q string) Path {
+	if p == q {
+		return Path{}
+	}
+	e := m.Entry(p, q)
+	var best Path
+	found := false
+	for _, r := range e.rels() {
+		switch r.Kind {
+		case RelAlias:
+			return Path{}
+		case RelPath:
+			if !found || len(r.Path) < len(best) {
+				best, found = r.Path, true
+			}
+		}
+	}
+	if found {
+		return best
+	}
+	return nil
+}
+
+// removeOverwrittenEdge drops relations that described the old value of
+// base->field: paths leaving a must-alias of base through field, and
+// relations tagged Via{base, field}. Relations merely containing field
+// elsewhere lose certainty.
+func (t *transferer) removeOverwrittenEdge(m *Matrix, base, field string) {
+	for k, e := range m.cells {
+		var out Entry
+		changed := false
+		for _, r := range e.rels() {
+			drop := false
+			if r.Kind == RelPath {
+				fromMust := k[0] == base || m.MustAlias(k[0], base)
+				if fromMust && r.Path.startsWith(field) {
+					drop = true
+				}
+				if r.Via.Var == base && r.Via.Field == field && !r.Via.Stale {
+					drop = true
+				}
+				if !drop && r.Certain && pathUsesField(r.Path, field) {
+					r.Certain = false
+					changed = true
+				}
+				// Paths from a possible (not certain) alias of base
+				// starting with field may also be stale.
+				if !drop && !fromMust && r.Certain &&
+					r.Path.startsWith(field) && m.MayAlias(k[0], base) {
+					r.Certain = false
+					changed = true
+				}
+			}
+			if drop {
+				changed = true
+				continue
+			}
+			out = out.add(r)
+		}
+		if changed {
+			m.set(k[0], k[1], out)
+		}
+	}
+}
+
+func pathUsesField(p Path, field string) bool {
+	for _, s := range p {
+		if s.Field == field {
+			return true
+		}
+	}
+	return false
+}
+
+// clearRepairedViolations removes violations whose broken edge is being
+// overwritten (the paper: "if another program statement fixes the
+// relationship between these two fields, the entry is removed"). A store
+// to any member of the partner's combined group counts as touching it.
+func (t *transferer) clearRepairedViolations(m *Matrix, base, field string, st *shape.Type) {
+	sameOrGrouped := func(f string) bool {
+		if f == field {
+			return true
+		}
+		return st != nil && st.SameGroup(f, field)
+	}
+	for v := range m.viols {
+		touchesVar := v.Base == base || v.Other == base ||
+			m.MustAlias(v.Base, base) || (v.Other != "" && m.MustAlias(v.Other, base))
+		if touchesVar && (sameOrGrouped(v.Field) || (v.Partner != "" && sameOrGrouped(v.Partner))) {
+			delete(m.viols, v)
+		}
+	}
+}
+
+// validateStore checks the store against the declaration and records
+// violations (Defs 4.2-4.9 encoded as path matrix conditions).
+func (t *transferer) validateStore(m *Matrix, base, field, src string, fld *shape.Field, st *shape.Type) {
+	if src == "" {
+		return // removing an edge cannot break acyclicity or uniqueness
+	}
+
+	// Acyclicity (Def 4.2): a forward edge into a node that reaches base
+	// along the same forward dimension closes a pure forward cycle.
+	// Backward edges point at ancestors by design and are governed by the
+	// Def 4.6 check below. Following the paper, only relationships the
+	// matrix explicitly denotes trigger a violation; the unknown (Top)
+	// relation between, say, two parameters does not.
+	if fld.Dir == shape.Forward || fld.Dir == shape.UniquelyForward {
+		if forwardCycleRisk(m, src, base, fld, st) {
+			m.addViolation(Violation{Prop: "acyclic", Field: field, Base: base, Other: src})
+		}
+	}
+
+	// Uniqueness and group disjointness (Defs 4.3, 4.7, 4.8): no other
+	// recorded edge over the group's fields may already enter src's node.
+	if fld.Dir == shape.UniquelyForward {
+		group := st.GroupOf(field)
+		prop := "unique"
+		if len(group) > 1 {
+			prop = "group-disjoint"
+		}
+		for k, e := range m.cells {
+			y, z := k[0], k[1]
+			if y == base || m.MustAlias(y, base) {
+				continue // overwritten edge was already removed
+			}
+			if z != src && !explicitAlias(m, z, src) {
+				continue
+			}
+			for _, r := range e.rels() {
+				if r.Kind != RelPath {
+					continue
+				}
+				last := r.Path[len(r.Path)-1]
+				for _, g := range group {
+					if last.Field == g && last.Min == 1 && !last.Plus && len(r.Path) == 1 {
+						m.addViolation(Violation{
+							Prop: prop, Field: field, Base: base, Other: y,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// Backward consistency (Def 4.6).
+	switch fld.Dir {
+	case shape.Backward:
+		// base->b = src is valid only if src is known to reach base by one
+		// step of SOME forward partner (for grouped partners like
+		// left/right, any member suffices). Anything weaker — including an
+		// alias, which would make the backward edge a self-loop and is
+		// definitely broken — records a (repairable) violation. This
+		// conservatism is what keeps the mirror-based derivation rules
+		// sound: they may rely on Def 4.6 only while no violation is
+		// outstanding.
+		partners := st.ForwardPartners(field)
+		if len(partners) > 0 {
+			e := m.Entry(src, base)
+			ok := false
+			first := partners[0]
+			for _, r := range e.rels() {
+				if r.Kind != RelPath || !r.Certain {
+					continue // only a definite one-step path proves consistency
+				}
+				for _, uf := range partners {
+					if exactOneStep(r.Path, uf.Name) {
+						ok = true
+					}
+				}
+				if exactOneStep(r.Path, DimField(first.Dim)) {
+					ok = true // one widened forward step along the dimension
+				}
+			}
+			if !ok {
+				m.addViolation(Violation{
+					Prop: "backward", Field: field, Partner: first.Name,
+					Base: base, Other: src,
+				})
+			}
+		}
+	case shape.UniquelyForward, shape.Forward:
+		// base->f = src: src's backward partner, if known, must point back
+		// at base.
+		if bp := st.BackwardPartner(field); bp != nil {
+			for k, e := range m.cells {
+				if k[0] != src && !m.MustAlias(k[0], src) {
+					continue
+				}
+				z := k[1]
+				if z == base || m.MayAlias(z, base) {
+					continue
+				}
+				for _, r := range e.rels() {
+					if r.Kind == RelPath && r.Certain && exactOneStep(r.Path, bp.Name) {
+						m.addViolation(Violation{
+							Prop: "backward", Field: bp.Name, Partner: field,
+							Base: base, Other: src,
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// explicitAlias reports whether the matrix explicitly denotes p and q as
+// (possible) aliases — an "=" or "=?" entry, not the unknown Top relation.
+func explicitAlias(m *Matrix, p, q string) bool {
+	for _, e := range []Entry{m.Entry(p, q), m.Entry(q, p)} {
+		if _, ok := e["="]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// forwardCycleRisk reports whether the matrix explicitly denotes that src's
+// node reaches base's node purely along fld's forward dimension (or equals
+// it), so that storing base->fld = src would close a forward cycle.
+func forwardCycleRisk(m *Matrix, src, base string, fld *shape.Field, st *shape.Type) bool {
+	if src == base {
+		return true
+	}
+	for _, e := range []Entry{m.Entry(src, base), m.Entry(base, src)} {
+		if _, ok := e["="]; ok {
+			return true
+		}
+	}
+	for _, r := range m.Entry(src, base).rels() {
+		if r.Kind != RelPath {
+			continue
+		}
+		pure := true
+		for _, s := range r.Path {
+			dir, dim, ok := stepInfo(st, s.Field)
+			if !ok || dim != fld.Dim || !forwardish(dir) {
+				pure = false
+				break
+			}
+		}
+		if pure {
+			return true
+		}
+	}
+	return false
+}
+
+// call havocs everything reachable from the pointer arguments: the callee
+// may rearrange those structures arbitrarily (but, by convention, leaves
+// them satisfying their declarations on return).
+func (t *transferer) call(m *Matrix, args []string) {
+	affected := map[string]bool{}
+	for _, a := range args {
+		affected[a] = true
+		for _, x := range m.relatedVars(a) {
+			affected[x] = true
+		}
+	}
+	vars := make([]string, 0, len(affected))
+	for v := range affected {
+		vars = append(vars, v)
+	}
+	for i, x := range vars {
+		for _, y := range vars[i+1:] {
+			m.addRel(x, y, Rel{Kind: RelTop})
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/shape"
+)
+
+// CheckViolation reports one dynamic failure of an ADDS property on a
+// concrete heap.
+type CheckViolation struct {
+	Def   string // "4.2", "4.3", ...
+	Type  string
+	Field string
+	Node  *Node
+	Msg   string
+}
+
+func (v CheckViolation) String() string {
+	return fmt.Sprintf("Def %s violated on %s.%s at %s: %s",
+		v.Def, v.Type, v.Field, v.Node, v.Msg)
+}
+
+// Check verifies every ADDS property of Section 4 against the part of the
+// heap reachable from roots. It is the run-time validation the paper
+// proposes as a debugging aid ("the compiler's ability to generate run-time
+// checks to ensure proper use of dynamic data structures").
+func Check(env *shape.Env, roots ...*Node) []CheckViolation {
+	nodes := Reachable(roots...)
+	var out []CheckViolation
+	out = append(out, checkAcyclic(env, nodes)...)
+	out = append(out, checkUnique(env, nodes)...)
+	out = append(out, checkGroups(env, nodes)...)
+	out = append(out, checkBackward(env, nodes)...)
+	out = append(out, checkIndependent(env, nodes)...)
+	out = append(out, checkIndependentCycles(env, nodes)...)
+	out = append(out, checkCircular(env, nodes)...)
+	return out
+}
+
+// checkCircular gives the circular direction the executable semantics the
+// paper leaves to run time (Section 3.1: accurate analysis of circular
+// fields "implies information must be collected and maintained at
+// run-time"): traversing a circular field from any node either terminates
+// at NULL (a ring under construction) or returns to the starting node — a
+// rho shape (entering a cycle the start is not on) is a violation.
+func checkCircular(env *shape.Env, nodes []*Node) []CheckViolation {
+	var out []CheckViolation
+	for _, n := range nodes {
+		t := env.Type(n.Type)
+		if t == nil {
+			continue
+		}
+		for _, f := range t.Fields {
+			if f.Dir != shape.Circular {
+				continue
+			}
+			seen := map[*Node]bool{}
+			cur := n.Ptrs[f.Name]
+			bad := false
+			for cur != nil && cur != n {
+				if seen[cur] {
+					bad = true
+					break
+				}
+				seen[cur] = true
+				cur = cur.Ptrs[f.Name]
+			}
+			if bad {
+				out = append(out, CheckViolation{
+					Def: "3.1-circular", Type: n.Type, Field: f.Name, Node: n,
+					Msg: "traversal enters a cycle that does not return to the start (rho shape)",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// checkAcyclic enforces Def 4.2 (forward fields, including uniquely forward)
+// and the backward half of Def 4.5: traversing a single acyclic field from
+// any node terminates.
+func checkAcyclic(env *shape.Env, nodes []*Node) []CheckViolation {
+	var out []CheckViolation
+	for _, n := range nodes {
+		t := env.Type(n.Type)
+		if t == nil {
+			continue
+		}
+		for _, f := range t.Fields {
+			if !f.Acyclic() {
+				continue
+			}
+			// Follow f from n; a revisit of any node is a cycle.
+			seen := map[*Node]bool{}
+			cur := n
+			for cur != nil {
+				if seen[cur] {
+					out = append(out, CheckViolation{
+						Def: "4.2", Type: n.Type, Field: f.Name, Node: n,
+						Msg: fmt.Sprintf("traversal revisits %s", cur),
+					})
+					break
+				}
+				seen[cur] = true
+				cur = cur.Ptrs[f.Name]
+			}
+		}
+	}
+	return out
+}
+
+// checkUnique enforces Def 4.3: at most one f-edge enters any node.
+func checkUnique(env *shape.Env, nodes []*Node) []CheckViolation {
+	var out []CheckViolation
+	indeg := map[string]map[*Node]*Node{} // field -> target -> first source
+	for _, n := range nodes {
+		t := env.Type(n.Type)
+		if t == nil {
+			continue
+		}
+		for _, f := range t.Fields {
+			if f.Dir != shape.UniquelyForward {
+				continue
+			}
+			target := n.Ptrs[f.Name]
+			if target == nil {
+				continue
+			}
+			if indeg[f.Name] == nil {
+				indeg[f.Name] = map[*Node]*Node{}
+			}
+			if prev, ok := indeg[f.Name][target]; ok {
+				out = append(out, CheckViolation{
+					Def: "4.3", Type: n.Type, Field: f.Name, Node: target,
+					Msg: fmt.Sprintf("reached by %s from both %s and %s", f.Name, prev, n),
+				})
+			} else {
+				indeg[f.Name][target] = n
+			}
+		}
+	}
+	return out
+}
+
+// checkGroups enforces Defs 4.7-4.8: for a combined group, at most one edge
+// over any of the group's fields enters a node.
+func checkGroups(env *shape.Env, nodes []*Node) []CheckViolation {
+	var out []CheckViolation
+	type groupKey struct {
+		typ string
+		gid int
+	}
+	indeg := map[groupKey]map[*Node][2]string{} // -> target -> (source, field)
+	for _, n := range nodes {
+		t := env.Type(n.Type)
+		if t == nil {
+			continue
+		}
+		for _, f := range t.Fields {
+			if f.Group < 0 {
+				continue
+			}
+			target := n.Ptrs[f.Name]
+			if target == nil {
+				continue
+			}
+			k := groupKey{typ: n.Type, gid: f.Group}
+			if indeg[k] == nil {
+				indeg[k] = map[*Node][2]string{}
+			}
+			if prev, ok := indeg[k][target]; ok {
+				out = append(out, CheckViolation{
+					Def: "4.7", Type: n.Type, Field: f.Name, Node: target,
+					Msg: fmt.Sprintf("reached by group edges %s (from %s) and %s (from %s)",
+						prev[1], prev[0], f.Name, n),
+				})
+			} else {
+				indeg[k][target] = [2]string{n.String(), f.Name}
+			}
+		}
+	}
+	return out
+}
+
+// checkBackward enforces Def 4.6: for a uniquely forward f with backward
+// partner b along the same dimension, n.f.b is n or NULL.
+func checkBackward(env *shape.Env, nodes []*Node) []CheckViolation {
+	var out []CheckViolation
+	for _, n := range nodes {
+		t := env.Type(n.Type)
+		if t == nil {
+			continue
+		}
+		for _, f := range t.Fields {
+			if f.Dir != shape.UniquelyForward {
+				continue
+			}
+			for _, b := range t.BackwardAlong(f.Dim) {
+				child := n.Ptrs[f.Name]
+				if child == nil {
+					continue
+				}
+				back := child.Ptrs[b.Name]
+				if back != nil && back != n {
+					out = append(out, CheckViolation{
+						Def: "4.6", Type: n.Type, Field: f.Name, Node: n,
+						Msg: fmt.Sprintf("%s.%s.%s = %s, want %s or NULL",
+							n, f.Name, b.Name, back, n),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkIndependent enforces Def 4.9(a): no node is entered forward along
+// two independent dimensions.
+func checkIndependent(env *shape.Env, nodes []*Node) []CheckViolation {
+	var out []CheckViolation
+	// target -> set of (dim) with an incoming forward edge, with a witness.
+	type in struct {
+		dim    string
+		source *Node
+		field  string
+	}
+	incoming := map[*Node][]in{}
+	for _, n := range nodes {
+		t := env.Type(n.Type)
+		if t == nil {
+			continue
+		}
+		for _, f := range t.Fields {
+			if f.Dir != shape.Forward && f.Dir != shape.UniquelyForward {
+				continue
+			}
+			target := n.Ptrs[f.Name]
+			if target == nil {
+				continue
+			}
+			incoming[target] = append(incoming[target], in{dim: f.Dim, source: n, field: f.Name})
+		}
+	}
+	for target, ins := range incoming {
+		t := env.Type(target.Type)
+		if t == nil {
+			continue
+		}
+		for i, a := range ins {
+			for _, b := range ins[i+1:] {
+				if t.Independent(a.dim, b.dim) {
+					out = append(out, CheckViolation{
+						Def: "4.9", Type: target.Type, Field: a.field, Node: target,
+						Msg: fmt.Sprintf("entered forward along independent dims %s (%s from %s) and %s (%s from %s)",
+							a.dim, a.field, a.source, b.dim, b.field, b.source),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkIndependentCycles enforces Def 4.9(b): for uf uniquely forward along
+// di with backward partner b, every node reached from n.uf by forward steps
+// along dimensions independent of di has b equal to n or NULL.
+func checkIndependentCycles(env *shape.Env, nodes []*Node) []CheckViolation {
+	var out []CheckViolation
+	for _, n := range nodes {
+		t := env.Type(n.Type)
+		if t == nil {
+			continue
+		}
+		for _, uf := range t.Fields {
+			if uf.Dir != shape.UniquelyForward {
+				continue
+			}
+			backs := t.BackwardAlong(uf.Dim)
+			if len(backs) == 0 {
+				continue
+			}
+			start := n.Ptrs[uf.Name]
+			if start == nil {
+				continue
+			}
+			region := forwardClosure(env, start, func(f *shape.Field) bool {
+				return (f.Dir == shape.Forward || f.Dir == shape.UniquelyForward) &&
+					t.Independent(f.Dim, uf.Dim)
+			})
+			for _, m := range region {
+				for _, b := range backs {
+					back := m.Ptrs[b.Name]
+					if back != nil && back != n {
+						out = append(out, CheckViolation{
+							Def: "4.9b", Type: n.Type, Field: uf.Name, Node: m,
+							Msg: fmt.Sprintf("%s.%s = %s, want %s or NULL (across independent dims)",
+								m, b.Name, back, n),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// forwardClosure collects start plus every node reachable by fields the
+// filter accepts.
+func forwardClosure(env *shape.Env, start *Node, accept func(*shape.Field) bool) []*Node {
+	seen := map[*Node]bool{start: true}
+	stack := []*Node{start}
+	out := []*Node{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t := env.Type(n.Type)
+		if t == nil {
+			continue
+		}
+		for _, f := range t.Fields {
+			if !accept(f) {
+				continue
+			}
+			m := n.Ptrs[f.Name]
+			if m != nil && !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+				stack = append(stack, m)
+			}
+		}
+	}
+	return out
+}

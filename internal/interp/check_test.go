@@ -1,0 +1,300 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/shape"
+	"repro/internal/source/parser"
+)
+
+const paperDecls = `
+type TwoWayLL [X] {
+    int data;
+    TwoWayLL *next is uniquely forward along X;
+    TwoWayLL *prev is backward along X;
+};
+type PBinTree [down] {
+    int data;
+    PBinTree *left, *right is uniquely forward along down;
+    PBinTree *parent is backward along down;
+};
+type LOLS [X] [Y] where X || Y {
+    int data;
+    LOLS *across is uniquely forward along X;
+    LOLS *back is backward along X;
+    LOLS *down is uniquely forward along Y;
+    LOLS *up is backward along Y;
+};
+type CirL [X] {
+    int data;
+    CirL *next is circular along X;
+};
+`
+
+func paperEnv(t *testing.T) *shape.Env {
+	t.Helper()
+	return shape.MustBuild(parser.MustParse(paperDecls))
+}
+
+// list builds a well-formed doubly linked list of n nodes.
+func list(h *Heap, n int) *Node {
+	var head, prev *Node
+	for i := 0; i < n; i++ {
+		node := h.New("TwoWayLL")
+		node.Ints["data"] = int64(i)
+		if prev == nil {
+			head = node
+		} else {
+			prev.Ptrs["next"] = node
+			node.Ptrs["prev"] = prev
+		}
+		prev = node
+	}
+	return head
+}
+
+func TestValidListPasses(t *testing.T) {
+	env := paperEnv(t)
+	h := NewHeap()
+	hd := list(h, 20)
+	if vs := Check(env, hd); len(vs) != 0 {
+		t.Fatalf("valid list flagged: %v", vs[0])
+	}
+}
+
+func TestCycleViolatesDef42(t *testing.T) {
+	env := paperEnv(t)
+	h := NewHeap()
+	hd := list(h, 5)
+	// Close a next-cycle: last -> first.
+	last := hd
+	for last.Ptrs["next"] != nil {
+		last = last.Ptrs["next"]
+	}
+	last.Ptrs["next"] = hd
+	hd.Ptrs["prev"] = last
+	vs := Check(env, hd)
+	if len(vs) == 0 {
+		t.Fatal("cycle not detected")
+	}
+	found := false
+	for _, v := range vs {
+		if v.Def == "4.2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want Def 4.2 violation, got %v", vs)
+	}
+}
+
+func TestSharedTailViolatesDef43(t *testing.T) {
+	env := paperEnv(t)
+	h := NewHeap()
+	a := list(h, 3)
+	b := list(h, 3)
+	// Both lists' second node point at one shared node.
+	shared := h.New("TwoWayLL")
+	a.Ptrs["next"].Ptrs["next"] = shared
+	b.Ptrs["next"].Ptrs["next"] = shared
+	vs := Check(env, a, b)
+	found := false
+	for _, v := range vs {
+		if v.Def == "4.3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want Def 4.3 violation, got %v", vs)
+	}
+}
+
+func TestBadPrevViolatesDef46(t *testing.T) {
+	env := paperEnv(t)
+	h := NewHeap()
+	hd := list(h, 4)
+	second := hd.Ptrs["next"]
+	third := second.Ptrs["next"]
+	// third.prev should be second; point it at hd instead.
+	third.Ptrs["prev"] = hd
+	vs := Check(env, hd)
+	found := false
+	for _, v := range vs {
+		if v.Def == "4.6" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want Def 4.6 violation, got %v", vs)
+	}
+}
+
+// tree builds a perfect binary tree of the given depth with parent links.
+func tree(h *Heap, depth int) *Node {
+	root := h.New("PBinTree")
+	if depth > 1 {
+		l := tree(h, depth-1)
+		r := tree(h, depth-1)
+		root.Ptrs["left"] = l
+		root.Ptrs["right"] = r
+		l.Ptrs["parent"] = root
+		r.Ptrs["parent"] = root
+	}
+	return root
+}
+
+func TestValidTreePasses(t *testing.T) {
+	env := paperEnv(t)
+	h := NewHeap()
+	root := tree(h, 4)
+	if vs := Check(env, root); len(vs) != 0 {
+		t.Fatalf("valid tree flagged: %v", vs[0])
+	}
+}
+
+func TestSharedSubtreeViolatesDef47(t *testing.T) {
+	env := paperEnv(t)
+	h := NewHeap()
+	root := tree(h, 3)
+	// Share: root.right.left = root.left.left (reached by two left edges —
+	// caught by 4.3) and also root.right = root.left (group violation).
+	root.Ptrs["right"] = root.Ptrs["left"]
+	vs := Check(env, root)
+	found := false
+	for _, v := range vs {
+		if v.Def == "4.7" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want Def 4.7 violation, got %v", vs)
+	}
+}
+
+// lols builds a list of lists with independent dimensions.
+func lols(h *Heap, rows, cols int) *Node {
+	var firstRow *Node
+	var prevRow *Node
+	for r := 0; r < rows; r++ {
+		rowHead := h.New("LOLS")
+		if prevRow == nil {
+			firstRow = rowHead
+		} else {
+			prevRow.Ptrs["down"] = rowHead
+			rowHead.Ptrs["up"] = prevRow
+		}
+		prev := rowHead
+		for c := 1; c < cols; c++ {
+			n := h.New("LOLS")
+			prev.Ptrs["across"] = n
+			n.Ptrs["back"] = prev
+			prev = n
+		}
+		prevRow = rowHead
+	}
+	return firstRow
+}
+
+func TestValidLOLSPasses(t *testing.T) {
+	env := paperEnv(t)
+	h := NewHeap()
+	m := lols(h, 4, 5)
+	if vs := Check(env, m); len(vs) != 0 {
+		t.Fatalf("valid LOLS flagged: %v", vs[0])
+	}
+}
+
+func TestCrossDimensionSharingViolatesDef49(t *testing.T) {
+	env := paperEnv(t)
+	h := NewHeap()
+	m := lols(h, 3, 3)
+	// Make a down edge point into the middle of a row (also reachable by
+	// across): forward entry along two independent dims.
+	row2 := m.Ptrs["down"]
+	mid := m.Ptrs["across"]
+	row2.Ptrs["down"] = mid
+	vs := Check(env, m)
+	found := false
+	for _, v := range vs {
+		if v.Def == "4.9" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want Def 4.9 violation, got %v", vs)
+	}
+}
+
+func TestCircularListNotFlagged(t *testing.T) {
+	env := paperEnv(t)
+	h := NewHeap()
+	// A ring of CirL nodes: circular is declared, so no acyclicity check.
+	first := h.New("CirL")
+	cur := first
+	for i := 0; i < 5; i++ {
+		n := h.New("CirL")
+		cur.Ptrs["next"] = n
+		cur = n
+	}
+	cur.Ptrs["next"] = first
+	if vs := Check(env, first); len(vs) != 0 {
+		t.Fatalf("circular list wrongly flagged: %v", vs[0])
+	}
+}
+
+func TestCheckEmptyHeap(t *testing.T) {
+	env := paperEnv(t)
+	if vs := Check(env); len(vs) != 0 {
+		t.Fatal("empty heap must pass")
+	}
+	if vs := Check(env, nil); len(vs) != 0 {
+		t.Fatal("nil root must pass")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	env := paperEnv(t)
+	h := NewHeap()
+	hd := list(h, 2)
+	hd.Ptrs["next"].Ptrs["next"] = hd
+	hd.Ptrs["prev"] = hd.Ptrs["next"]
+	vs := Check(env, hd)
+	if len(vs) == 0 {
+		t.Fatal("want violations")
+	}
+	s := vs[0].String()
+	if s == "" {
+		t.Error("empty violation string")
+	}
+}
+
+func TestRhoShapeViolatesCircular(t *testing.T) {
+	env := paperEnv(t)
+	h := NewHeap()
+	// a -> b -> c -> b : the traversal from a never returns to a.
+	a, b, c := h.New("CirL"), h.New("CirL"), h.New("CirL")
+	a.Ptrs["next"] = b
+	b.Ptrs["next"] = c
+	c.Ptrs["next"] = b
+	vs := Check(env, a)
+	found := false
+	for _, v := range vs {
+		if v.Def == "3.1-circular" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rho shape not detected: %v", vs)
+	}
+}
+
+func TestUnderConstructionRingOK(t *testing.T) {
+	env := paperEnv(t)
+	h := NewHeap()
+	// NULL-terminated chain of CirL nodes: a ring under construction.
+	a, b := h.New("CirL"), h.New("CirL")
+	a.Ptrs["next"] = b
+	if vs := Check(env, a); len(vs) != 0 {
+		t.Errorf("unterminated circular chain wrongly flagged: %v", vs)
+	}
+}

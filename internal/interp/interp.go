@@ -1,0 +1,419 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/shape"
+	"repro/internal/source/ast"
+	"repro/internal/source/token"
+)
+
+// Value is a runtime value: an int64 or a *Node (nil for NULL).
+type Value struct {
+	IsPtr bool
+	Int   int64
+	Ptr   *Node
+}
+
+// IntVal and PtrVal construct values.
+func IntVal(v int64) Value { return Value{Int: v} }
+func PtrVal(n *Node) Value { return Value{IsPtr: true, Ptr: n} }
+
+// String renders the value.
+func (v Value) String() string {
+	if v.IsPtr {
+		return v.Ptr.String()
+	}
+	return fmt.Sprintf("%d", v.Int)
+}
+
+// RuntimeError is an execution failure (nil dereference, use after free,
+// step budget exhausted, ...).
+type RuntimeError struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *RuntimeError) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+	}
+	return e.Msg
+}
+
+// Tracer observes pointer-relevant events during interpretation. The
+// soundness property tests implement it to compare dynamic truth against
+// static predictions.
+type Tracer interface {
+	// AtStmt fires before each statement with the current frame bindings.
+	AtStmt(s ast.Stmt, vars map[string]Value)
+}
+
+// Interp executes mini programs over a Heap.
+type Interp struct {
+	Prog     *ast.Program
+	Env      *shape.Env
+	Heap     *Heap
+	Tracer   Tracer
+	MaxSteps int // 0 means the default budget
+	MaxDepth int // 0 means DefaultMaxDepth
+
+	steps int
+	depth int
+}
+
+// DefaultMaxSteps bounds execution so buggy fixtures cannot hang tests.
+const DefaultMaxSteps = 1 << 22
+
+// DefaultMaxDepth bounds mini call recursion so runaway recursive fixtures
+// report an error instead of overflowing the Go stack.
+const DefaultMaxDepth = 10000
+
+// New returns an interpreter for the program with a fresh heap. The shape
+// environment is rebuilt from the program's declarations; well-formedness
+// problems are ignored here (the type checker reports them).
+func New(prog *ast.Program) *Interp {
+	env, _ := shape.Build(prog)
+	return &Interp{Prog: prog, Env: env, Heap: NewHeap()}
+}
+
+type frame struct {
+	vars map[string]Value
+}
+
+type returned struct{ val Value }
+
+// Call invokes a declared function with the given arguments and returns its
+// return value (zero Value for void functions).
+func (in *Interp) Call(name string, args ...Value) (Value, error) {
+	fd := in.Prog.FuncByName(name)
+	if fd == nil {
+		return Value{}, &RuntimeError{Msg: "undefined function " + name}
+	}
+	if len(args) != len(fd.Params) {
+		return Value{}, &RuntimeError{Pos: fd.NamePos,
+			Msg: fmt.Sprintf("%s expects %d arguments, got %d", name, len(fd.Params), len(args))}
+	}
+	maxDepth := in.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	if in.depth >= maxDepth {
+		return Value{}, &RuntimeError{Pos: fd.NamePos,
+			Msg: fmt.Sprintf("call depth limit (%d) exceeded in %s", maxDepth, name)}
+	}
+	in.depth++
+	defer func() { in.depth-- }()
+	f := &frame{vars: map[string]Value{}}
+	for i, p := range fd.Params {
+		f.vars[p.Name] = args[i]
+	}
+	for _, vd := range fd.Body.Vars {
+		for _, n := range vd.Names {
+			if vd.Pointer {
+				f.vars[n] = PtrVal(nil)
+			} else {
+				f.vars[n] = IntVal(0)
+			}
+		}
+	}
+	var ret Value
+	err := in.execBlock(fd.Body, f)
+	if r, ok := err.(*returned); ok {
+		ret = r.val
+		err = nil
+	}
+	return ret, err
+}
+
+func (*returned) Error() string { return "returned" }
+
+func (in *Interp) budget(pos token.Pos) error {
+	in.steps++
+	max := in.MaxSteps
+	if max == 0 {
+		max = DefaultMaxSteps
+	}
+	if in.steps > max {
+		return &RuntimeError{Pos: pos, Msg: "step budget exhausted (infinite loop?)"}
+	}
+	return nil
+}
+
+func (in *Interp) execBlock(blk *ast.Block, f *frame) error {
+	for _, s := range blk.Stmts {
+		if err := in.execStmt(s, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Interp) execStmt(s ast.Stmt, f *frame) error {
+	if err := in.budget(s.Pos()); err != nil {
+		return err
+	}
+	if in.Tracer != nil {
+		in.Tracer.AtStmt(s, f.vars)
+	}
+	switch s := s.(type) {
+	case *ast.Block:
+		return in.execBlock(s, f)
+	case *ast.AssignStmt:
+		val, err := in.evalExpr(s.RHS, f)
+		if err != nil {
+			return err
+		}
+		return in.assign(s.LHS, val, f)
+	case *ast.WhileStmt:
+		for {
+			if err := in.budget(s.WhilePos); err != nil {
+				return err
+			}
+			c, err := in.evalExpr(s.Cond, f)
+			if err != nil {
+				return err
+			}
+			if !truthy(c) {
+				return nil
+			}
+			if err := in.execStmt(s.Body, f); err != nil {
+				return err
+			}
+		}
+	case *ast.IfStmt:
+		c, err := in.evalExpr(s.Cond, f)
+		if err != nil {
+			return err
+		}
+		if truthy(c) {
+			return in.execStmt(s.Then, f)
+		}
+		if s.Else != nil {
+			return in.execStmt(s.Else, f)
+		}
+		return nil
+	case *ast.ReturnStmt:
+		var v Value
+		if s.Value != nil {
+			var err error
+			v, err = in.evalExpr(s.Value, f)
+			if err != nil {
+				return err
+			}
+		}
+		return &returned{val: v}
+	case *ast.CallStmt:
+		_, err := in.evalExpr(s.Call, f)
+		return err
+	case *ast.FreeStmt:
+		v, err := in.evalExpr(s.Target, f)
+		if err != nil {
+			return err
+		}
+		if !v.IsPtr || v.Ptr == nil {
+			return &RuntimeError{Pos: s.FreePos, Msg: "free of NULL or non-pointer"}
+		}
+		in.Heap.Free(v.Ptr)
+		return nil
+	}
+	return &RuntimeError{Pos: s.Pos(), Msg: fmt.Sprintf("unknown statement %T", s)}
+}
+
+func truthy(v Value) bool {
+	if v.IsPtr {
+		return v.Ptr != nil
+	}
+	return v.Int != 0
+}
+
+// assign writes a value through an lvalue path.
+func (in *Interp) assign(lhs *ast.Path, val Value, f *frame) error {
+	if lhs.IsVar() {
+		if _, ok := f.vars[lhs.Var]; !ok {
+			return &RuntimeError{Pos: lhs.VarPos, Msg: "undefined variable " + lhs.Var}
+		}
+		f.vars[lhs.Var] = val
+		return nil
+	}
+	base, err := in.walkPath(lhs, len(lhs.Fields)-1, f)
+	if err != nil {
+		return err
+	}
+	if base.Ptr == nil {
+		return &RuntimeError{Pos: lhs.VarPos, Msg: "store through NULL pointer"}
+	}
+	if in.Heap.Freed(base.Ptr) {
+		return &RuntimeError{Pos: lhs.VarPos, Msg: "store through freed node"}
+	}
+	field := lhs.Fields[len(lhs.Fields)-1]
+	if val.IsPtr {
+		base.Ptr.Ptrs[field] = val.Ptr
+	} else {
+		base.Ptr.Ints[field] = val.Int
+	}
+	return nil
+}
+
+// walkPath evaluates the first n dereferences of a path.
+func (in *Interp) walkPath(p *ast.Path, n int, f *frame) (Value, error) {
+	v, ok := f.vars[p.Var]
+	if !ok {
+		return Value{}, &RuntimeError{Pos: p.VarPos, Msg: "undefined variable " + p.Var}
+	}
+	for i := 0; i < n; i++ {
+		if !v.IsPtr {
+			return Value{}, &RuntimeError{Pos: p.VarPos, Msg: "dereference of non-pointer"}
+		}
+		if v.Ptr == nil {
+			return Value{}, &RuntimeError{Pos: p.VarPos,
+				Msg: fmt.Sprintf("NULL dereference at ->%s", p.Fields[i])}
+		}
+		if in.Heap.Freed(v.Ptr) {
+			return Value{}, &RuntimeError{Pos: p.VarPos, Msg: "use after free"}
+		}
+		field := p.Fields[i]
+		if iv, ok := v.Ptr.Ints[field]; ok {
+			v = IntVal(iv)
+		} else if pv, ok := v.Ptr.Ptrs[field]; ok {
+			v = PtrVal(pv)
+		} else {
+			// Field never written: an int field reads 0, a pointer field
+			// reads NULL, per the declaration.
+			st := in.Env.Type(v.Ptr.Type)
+			switch {
+			case st == nil:
+				return Value{}, &RuntimeError{Pos: p.VarPos,
+					Msg: "node of undeclared type " + v.Ptr.Type}
+			case st.HasIntField(field):
+				v = IntVal(0)
+			case st.Field(field) != nil:
+				v = PtrVal(nil)
+			default:
+				return Value{}, &RuntimeError{Pos: p.VarPos,
+					Msg: fmt.Sprintf("type %s has no field %s", v.Ptr.Type, field)}
+			}
+		}
+	}
+	return v, nil
+}
+
+func (in *Interp) evalExpr(e ast.Expr, f *frame) (Value, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return IntVal(e.Value), nil
+	case *ast.NullLit:
+		return PtrVal(nil), nil
+	case *ast.NewExpr:
+		return PtrVal(in.Heap.New(e.TypeName)), nil
+	case *ast.Path:
+		return in.walkPath(e, len(e.Fields), f)
+	case *ast.UnExpr:
+		v, err := in.evalExpr(e.X, f)
+		if err != nil {
+			return Value{}, err
+		}
+		switch e.Op {
+		case token.MINUS:
+			return IntVal(-v.Int), nil
+		case token.NOT:
+			if truthy(v) {
+				return IntVal(0), nil
+			}
+			return IntVal(1), nil
+		}
+		return Value{}, &RuntimeError{Pos: e.OpPos, Msg: "bad unary operator"}
+	case *ast.BinExpr:
+		return in.evalBin(e, f)
+	case *ast.CallExpr:
+		args := make([]Value, len(e.Args))
+		for i, a := range e.Args {
+			v, err := in.evalExpr(a, f)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		return in.Call(e.Name, args...)
+	}
+	return Value{}, &RuntimeError{Pos: e.Pos(), Msg: fmt.Sprintf("unknown expression %T", e)}
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return IntVal(1)
+	}
+	return IntVal(0)
+}
+
+func (in *Interp) evalBin(e *ast.BinExpr, f *frame) (Value, error) {
+	// Short-circuit logicals first.
+	if e.Op == token.AND || e.Op == token.OR {
+		x, err := in.evalExpr(e.X, f)
+		if err != nil {
+			return Value{}, err
+		}
+		if e.Op == token.AND && !truthy(x) {
+			return IntVal(0), nil
+		}
+		if e.Op == token.OR && truthy(x) {
+			return IntVal(1), nil
+		}
+		y, err := in.evalExpr(e.Y, f)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolVal(truthy(y)), nil
+	}
+
+	x, err := in.evalExpr(e.X, f)
+	if err != nil {
+		return Value{}, err
+	}
+	y, err := in.evalExpr(e.Y, f)
+	if err != nil {
+		return Value{}, err
+	}
+
+	if x.IsPtr || y.IsPtr {
+		switch e.Op {
+		case token.EQ:
+			return boolVal(x.Ptr == y.Ptr), nil
+		case token.NEQ:
+			return boolVal(x.Ptr != y.Ptr), nil
+		}
+		return Value{}, &RuntimeError{Pos: e.X.Pos(), Msg: "arithmetic on pointers"}
+	}
+
+	switch e.Op {
+	case token.PLUS:
+		return IntVal(x.Int + y.Int), nil
+	case token.MINUS:
+		return IntVal(x.Int - y.Int), nil
+	case token.STAR:
+		return IntVal(x.Int * y.Int), nil
+	case token.SLASH:
+		if y.Int == 0 {
+			return Value{}, &RuntimeError{Pos: e.X.Pos(), Msg: "division by zero"}
+		}
+		return IntVal(x.Int / y.Int), nil
+	case token.PCT:
+		if y.Int == 0 {
+			return Value{}, &RuntimeError{Pos: e.X.Pos(), Msg: "modulo by zero"}
+		}
+		return IntVal(x.Int % y.Int), nil
+	case token.EQ:
+		return boolVal(x.Int == y.Int), nil
+	case token.NEQ:
+		return boolVal(x.Int != y.Int), nil
+	case token.LT:
+		return boolVal(x.Int < y.Int), nil
+	case token.LE:
+		return boolVal(x.Int <= y.Int), nil
+	case token.GT:
+		return boolVal(x.Int > y.Int), nil
+	case token.GE:
+		return boolVal(x.Int >= y.Int), nil
+	}
+	return Value{}, &RuntimeError{Pos: e.X.Pos(), Msg: "bad binary operator"}
+}

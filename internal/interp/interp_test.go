@@ -1,0 +1,282 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/source/ast"
+	"repro/internal/source/parser"
+)
+
+const listDecl = `
+type List [X] {
+    int data;
+    List *next is uniquely forward along X;
+    List *prev is backward along X;
+};
+`
+
+func run(t *testing.T, src, fn string, args ...Value) (Value, *Interp, error) {
+	t.Helper()
+	prog := parser.MustParse(src)
+	in := New(prog)
+	v, err := in.Call(fn, args...)
+	return v, in, err
+}
+
+func TestArithmetic(t *testing.T) {
+	v, _, err := run(t, `
+int f(int a, int b) {
+    int x;
+    x = a * b + a - b;
+    x = x / 2;
+    x = x % 100;
+    return x;
+}`, "f", IntVal(10), IntVal(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != (10*4+10-4)/2%100 {
+		t.Errorf("got %d", v.Int)
+	}
+}
+
+func TestBuildAndSum(t *testing.T) {
+	src := listDecl + `
+int sum(int n) {
+    List *hd, *p, *tmp;
+    int i, total;
+    hd = NULL;
+    i = n;
+    while (i > 0) {
+        tmp = new List;
+        tmp->data = i;
+        tmp->next = hd;
+        if (hd != NULL) {
+            hd->prev = tmp;
+        }
+        hd = tmp;
+        i = i - 1;
+    }
+    total = 0;
+    p = hd;
+    while (p != NULL) {
+        total = total + p->data;
+        p = p->next;
+    }
+    return total;
+}`
+	v, in, err := run(t, src, "sum", IntVal(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != 55 {
+		t.Errorf("sum = %d, want 55", v.Int)
+	}
+	if in.Heap.Size() != 10 {
+		t.Errorf("allocations = %d", in.Heap.Size())
+	}
+}
+
+func TestShiftOriginSemantics(t *testing.T) {
+	// The paper's 5.1.2 loop: subtract hd->data from every later node.
+	src := listDecl + `
+void build(List *hd, int n) {
+    List *p, *tmp;
+    int i;
+    p = hd;
+    i = 1;
+    while (i <= n) {
+        tmp = new List;
+        tmp->data = i * 10;
+        p->next = tmp;
+        tmp->prev = p;
+        p = tmp;
+        i = i + 1;
+    }
+}
+void shift(List *hd) {
+    List *p;
+    p = hd->next;
+    while (p != NULL) {
+        p->data = p->data - hd->data;
+        p = p->next;
+    }
+}
+int get(List *hd, int k) {
+    List *p;
+    int i;
+    p = hd;
+    i = 0;
+    while (i < k) {
+        p = p->next;
+        i = i + 1;
+    }
+    return p->data;
+}
+int main2() {
+    List *hd;
+    hd = new List;
+    hd->data = 7;
+    build(hd, 5);
+    shift(hd);
+    return get(hd, 3);
+}`
+	v, _, err := run(t, src, "main2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != 30-7 {
+		t.Errorf("got %d, want 23", v.Int)
+	}
+}
+
+func TestNullDereference(t *testing.T) {
+	_, _, err := run(t, listDecl+`
+int f() {
+    List *p;
+    p = NULL;
+    return p->data;
+}`, "f")
+	if err == nil || !strings.Contains(err.Error(), "NULL dereference") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUseAfterFree(t *testing.T) {
+	_, _, err := run(t, listDecl+`
+int f() {
+    List *p;
+    p = new List;
+    p->data = 1;
+    free(p);
+    return p->data;
+}`, "f")
+	if err == nil || !strings.Contains(err.Error(), "use after free") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestInfiniteLoopBudget(t *testing.T) {
+	prog := parser.MustParse(`void f() { int x; x = 0; while (x == 0) { x = 0; } }`)
+	in := New(prog)
+	in.MaxSteps = 1000
+	_, err := in.Call("f")
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnwrittenFieldsDefault(t *testing.T) {
+	v, _, err := run(t, listDecl+`
+int f() {
+    List *p;
+    p = new List;
+    if (p->next == NULL) {
+        return p->data + 100;
+    }
+    return 0;
+}`, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != 100 {
+		t.Errorf("got %d: unwritten pointer must read NULL, unwritten int 0", v.Int)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// p != NULL && p->data > 0 must not dereference NULL.
+	v, _, err := run(t, listDecl+`
+int f() {
+    List *p;
+    p = NULL;
+    if (p != NULL && p->data > 0) {
+        return 1;
+    }
+    return 2;
+}`, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != 2 {
+		t.Errorf("got %d", v.Int)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	_, _, err := run(t, `int f(int n) { return 1 / n; }`, "f", IntVal(0))
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	v, _, err := run(t, `
+int fib(int n) {
+    if (n < 2) {
+        return n;
+    }
+    return fib(n - 1) + fib(n - 2);
+}`, "fib", IntVal(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != 55 {
+		t.Errorf("fib(10) = %d", v.Int)
+	}
+}
+
+func TestTracerSeesStatements(t *testing.T) {
+	prog := parser.MustParse(listDecl + `
+void f() {
+    List *p;
+    p = new List;
+    p = NULL;
+}`)
+	in := New(prog)
+	var count int
+	in.Tracer = tracerFunc(func(ast.Stmt, map[string]Value) { count++ })
+	if _, err := in.Call("f"); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("tracer saw %d statements, want 2", count)
+	}
+}
+
+type tracerFunc func(ast.Stmt, map[string]Value)
+
+func (f tracerFunc) AtStmt(s ast.Stmt, vars map[string]Value) { f(s, vars) }
+
+func TestReachable(t *testing.T) {
+	h := NewHeap()
+	a, b, c := h.New("List"), h.New("List"), h.New("List")
+	a.Ptrs["next"] = b
+	b.Ptrs["next"] = c
+	c.Ptrs["prev"] = b
+	nodes := Reachable(a)
+	if len(nodes) != 3 {
+		t.Errorf("reachable = %d nodes", len(nodes))
+	}
+	if got := Reachable(nil); got != nil {
+		t.Errorf("Reachable(nil) = %v", got)
+	}
+}
+
+func TestFreeNullError(t *testing.T) {
+	_, _, err := run(t, listDecl+`void f() { List *p; p = NULL; free(p); }`, "f")
+	if err == nil {
+		t.Error("free(NULL) must fail")
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	prog := parser.MustParse(`int f(int n) { return f(n + 1); }`)
+	in := New(prog)
+	in.MaxDepth = 100
+	_, err := in.Call("f", IntVal(0))
+	if err == nil || !strings.Contains(err.Error(), "depth limit") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,355 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/shape"
+	"repro/internal/source/ast"
+	"repro/internal/source/token"
+	"repro/internal/source/types"
+)
+
+// builder generates pseudo-assembly from a checked function.
+type builder struct {
+	prog   *Program
+	fi     *types.FuncInfo
+	env    *shape.Env
+	vtypes map[string]types.Type
+	nreg   int
+	nlabel int
+}
+
+// Build lowers a checked function to pseudo-assembly.
+func Build(fi *types.FuncInfo, env *shape.Env) *Program {
+	p, _ := BuildWithTypes(fi, env)
+	return p
+}
+
+func (b *builder) emit(i *Instr) int {
+	b.prog.Instrs = append(b.prog.Instrs, i)
+	return len(b.prog.Instrs) - 1
+}
+
+func (b *builder) reg() string {
+	b.nreg++
+	return fmt.Sprintf("R%d", b.nreg)
+}
+
+func (b *builder) ptrReg(record string) string {
+	r := b.reg()
+	b.vtypes[r] = types.PointerTo(record)
+	return r
+}
+
+func (b *builder) label(prefix string) string {
+	b.nlabel++
+	return fmt.Sprintf("%s%d", prefix, b.nlabel)
+}
+
+func (b *builder) recordOf(reg string) string {
+	if t, ok := b.vtypes[reg]; ok && t.Kind == types.KindPointer {
+		return t.Record
+	}
+	return ""
+}
+
+func (b *builder) block(blk *ast.Block) {
+	for _, s := range blk.Stmts {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		b.block(s)
+	case *ast.AssignStmt:
+		b.assign(s)
+	case *ast.WhileStmt:
+		b.while(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ReturnStmt:
+		if s.Value != nil {
+			r := b.expr(s.Value)
+			b.emit(&Instr{Op: Ret, Src1: r})
+		} else {
+			b.emit(&Instr{Op: Ret})
+		}
+	case *ast.CallStmt:
+		for _, a := range s.Call.Args {
+			b.expr(a)
+		}
+		b.emit(&Instr{Op: Call, Name: s.Call.Name})
+	case *ast.FreeStmt:
+		r := b.expr(s.Target)
+		b.emit(&Instr{Op: FreeOp, Src1: r})
+	}
+}
+
+// base lowers all but the last field of a path and returns the register
+// holding the base node plus that node's record type.
+func (b *builder) base(p *ast.Path) (string, string) {
+	reg := p.Var
+	for i := 0; i+1 < len(p.Fields); i++ {
+		record := b.recordOf(reg)
+		st := b.env.Type(record)
+		var next string
+		if st != nil {
+			if pf := st.Field(p.Fields[i]); pf != nil {
+				next = b.ptrReg(pf.Target)
+			}
+		}
+		if next == "" {
+			next = b.reg()
+		}
+		b.emit(&Instr{Op: Load, Dst: next, Src1: reg, Field: p.Fields[i],
+			TypeName: record})
+		reg = next
+	}
+	return reg, b.recordOf(reg)
+}
+
+func (b *builder) assign(s *ast.AssignStmt) {
+	if s.LHS.IsVar() {
+		// Evaluate directly into the variable's register.
+		b.exprInto(s.RHS, s.LHS.Var)
+		return
+	}
+	baseReg, record := b.base(s.LHS)
+	field := s.LHS.Fields[len(s.LHS.Fields)-1]
+	if _, isNull := s.RHS.(*ast.NullLit); isNull {
+		b.emit(&Instr{Op: Store, Src1: baseReg, Src2: "", Field: field, TypeName: record})
+		return
+	}
+	val := b.expr(s.RHS)
+	b.emit(&Instr{Op: Store, Src1: baseReg, Src2: val, Field: field, TypeName: record})
+}
+
+// expr lowers an expression into a fresh (or reused variable) register.
+// Operands are evaluated before the destination register is allocated, so
+// "p->x - hd->x" yields the paper's R1, R2 then sub into R3.
+func (b *builder) expr(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Path:
+		if e.IsVar() {
+			return e.Var
+		}
+		baseReg, record := b.base(e)
+		t := b.pathResultType(e)
+		var dst string
+		if t.Kind == types.KindPointer {
+			dst = b.ptrReg(t.Record)
+		} else {
+			dst = b.reg()
+		}
+		b.emit(&Instr{Op: Load, Dst: dst, Src1: baseReg,
+			Field: e.Fields[len(e.Fields)-1], TypeName: record})
+		return dst
+	case *ast.BinExpr:
+		if op, ok := binOps[e.Op]; ok {
+			x := b.expr(e.X)
+			y := b.expr(e.Y)
+			dst := b.reg()
+			b.emit(&Instr{Op: op, Src1: x, Src2: y, Dst: dst})
+			return dst
+		}
+		if rel, ok := relOps[e.Op]; ok {
+			x := b.expr(e.X)
+			y := ""
+			if _, isNull := e.Y.(*ast.NullLit); !isNull {
+				y = b.expr(e.Y)
+			}
+			dst := b.reg()
+			b.emit(&Instr{Op: Set, Rel: rel, Src1: x, Src2: y, Dst: dst})
+			return dst
+		}
+	}
+	r := b.reg()
+	b.exprInto(e, r)
+	return r
+}
+
+// pathResultType returns the type of the full path expression.
+func (b *builder) pathResultType(p *ast.Path) types.Type {
+	t := b.vtypes[p.Var]
+	for _, f := range p.Fields {
+		if t.Kind != types.KindPointer {
+			return types.Invalid
+		}
+		st := b.env.Type(t.Record)
+		if st == nil {
+			return types.Invalid
+		}
+		if st.HasIntField(f) {
+			t = types.Int
+		} else if pf := st.Field(f); pf != nil {
+			t = types.PointerTo(pf.Target)
+		} else {
+			return types.Invalid
+		}
+	}
+	return t
+}
+
+// exprInto lowers an expression into the named register.
+func (b *builder) exprInto(e ast.Expr, dst string) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		b.emit(&Instr{Op: LoadImm, Imm: e.Value, Dst: dst})
+	case *ast.NullLit:
+		b.emit(&Instr{Op: LoadImm, Imm: 0, Dst: dst}) // NULL is the zero ref
+	case *ast.NewExpr:
+		b.emit(&Instr{Op: New, TypeName: e.TypeName, Dst: dst})
+	case *ast.Path:
+		if e.IsVar() {
+			if e.Var != dst {
+				b.emit(&Instr{Op: Move, Src1: e.Var, Dst: dst})
+			}
+			return
+		}
+		baseReg, record := b.base(e)
+		b.emit(&Instr{Op: Load, Dst: dst, Src1: baseReg,
+			Field: e.Fields[len(e.Fields)-1], TypeName: record})
+	case *ast.UnExpr:
+		switch e.Op {
+		case token.MINUS:
+			r := b.expr(e.X)
+			b.emit(&Instr{Op: Neg, Src1: r, Dst: dst})
+		case token.NOT:
+			r := b.expr(e.X)
+			b.emit(&Instr{Op: Set, Rel: EQ, Src1: r, Src2: "", Dst: dst})
+		}
+	case *ast.BinExpr:
+		b.binInto(e, dst)
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			b.expr(a)
+		}
+		b.emit(&Instr{Op: Call, Name: e.Name})
+		b.emit(&Instr{Op: LoadImm, Imm: 0, Dst: dst}) // opaque result
+	}
+}
+
+var binOps = map[token.Kind]Op{
+	token.PLUS:  Add,
+	token.MINUS: Sub,
+	token.STAR:  Mul,
+	token.SLASH: Div,
+	token.PCT:   Rem,
+}
+
+var relOps = map[token.Kind]Rel{
+	token.EQ:  EQ,
+	token.NEQ: NE,
+	token.LT:  LT,
+	token.LE:  LE,
+	token.GT:  GT,
+	token.GE:  GE,
+}
+
+func (b *builder) binInto(e *ast.BinExpr, dst string) {
+	if op, ok := binOps[e.Op]; ok {
+		x := b.expr(e.X)
+		y := b.expr(e.Y)
+		b.emit(&Instr{Op: op, Src1: x, Src2: y, Dst: dst})
+		return
+	}
+	if rel, ok := relOps[e.Op]; ok {
+		x := b.expr(e.X)
+		y := ""
+		if _, isNull := e.Y.(*ast.NullLit); !isNull {
+			y = b.expr(e.Y)
+		}
+		b.emit(&Instr{Op: Set, Rel: rel, Src1: x, Src2: y, Dst: dst})
+		return
+	}
+	// Logical && and || via short-circuit branches into dst.
+	switch e.Op {
+	case token.AND, token.OR:
+		lEnd := b.label("L")
+		b.exprInto(e.X, dst)
+		if e.Op == token.AND {
+			b.emit(&Instr{Op: Br, Rel: EQ, Src1: dst, Src2: "", Target: lEnd})
+		} else {
+			b.emit(&Instr{Op: Br, Rel: NE, Src1: dst, Src2: "", Target: lEnd})
+		}
+		b.exprInto(e.Y, dst)
+		b.emit(&Instr{Op: Label, Name: lEnd})
+	}
+}
+
+// branchIfFalse emits code that jumps to target when the condition is
+// false. Simple comparisons compile to a single negated branch, matching
+// the paper's "S1 if p==NULL goto done".
+func (b *builder) branchIfFalse(cond ast.Expr, target string) {
+	if bin, ok := cond.(*ast.BinExpr); ok {
+		if rel, isRel := relOps[bin.Op]; isRel {
+			x := b.expr(bin.X)
+			y := ""
+			if _, isNull := bin.Y.(*ast.NullLit); !isNull {
+				y = b.expr(bin.Y)
+			}
+			b.emit(&Instr{Op: Br, Rel: rel.Negate(), Src1: x, Src2: y, Target: target})
+			return
+		}
+		if bin.Op == token.AND {
+			b.branchIfFalse(bin.X, target)
+			b.branchIfFalse(bin.Y, target)
+			return
+		}
+	}
+	r := b.expr(cond)
+	b.emit(&Instr{Op: Br, Rel: EQ, Src1: r, Src2: "", Target: target})
+}
+
+func (b *builder) while(s *ast.WhileStmt) {
+	head := b.label("loop")
+	exit := b.label("done")
+	li := &LoopInfo{HeadLabel: head, ExitLabel: exit, SrcID: len(b.prog.Loops)}
+	b.prog.Loops = append(b.prog.Loops, li)
+
+	b.emit(&Instr{Op: Label, Name: head})
+	li.TestStart = len(b.prog.Instrs)
+	b.branchIfFalse(s.Cond, exit)
+	li.BodyStart = len(b.prog.Instrs)
+	b.stmt(s.Body)
+	li.BodyEnd = len(b.prog.Instrs)
+	b.emit(&Instr{Op: Goto, Target: head})
+	b.emit(&Instr{Op: Label, Name: exit})
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	elseL := b.label("else")
+	b.branchIfFalse(s.Cond, elseL)
+	b.stmt(s.Then)
+	if s.Else != nil {
+		endL := b.label("endif")
+		b.emit(&Instr{Op: Goto, Target: endL})
+		b.emit(&Instr{Op: Label, Name: elseL})
+		b.stmt(s.Else)
+		b.emit(&Instr{Op: Label, Name: endL})
+		return
+	}
+	b.emit(&Instr{Op: Label, Name: elseL})
+}
+
+// BuildWithTypes lowers the function and also returns the register type
+// table (source variables plus generated pointer temporaries).
+func BuildWithTypes(fi *types.FuncInfo, env *shape.Env) (*Program, map[string]types.Type) {
+	b := &builder{
+		prog:   &Program{Name: fi.Decl.Name},
+		fi:     fi,
+		env:    env,
+		vtypes: map[string]types.Type{},
+	}
+	for v, t := range fi.Vars {
+		b.vtypes[v] = t
+	}
+	for _, p := range fi.Decl.Params {
+		b.prog.Params = append(b.prog.Params, p.Name)
+	}
+	b.block(fi.Decl.Body)
+	b.emit(&Instr{Op: Ret})
+	return b.prog, b.vtypes
+}

@@ -1,0 +1,85 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/source/parser"
+	"repro/internal/source/types"
+)
+
+const benchSrc = `
+type List [X] {
+    int x;
+    List *next is uniquely forward along X;
+};
+int sum(List *hd) {
+    List *p;
+    int total;
+    total = 0;
+    p = hd;
+    while (p != NULL) {
+        total = total + p->x;
+        p = p->next;
+    }
+    return total;
+}
+`
+
+func benchProgram(b *testing.B) *ir.Program {
+	b.Helper()
+	info := types.MustCheck(parser.MustParse(benchSrc))
+	return ir.Build(info.Func("sum"), info.Env)
+}
+
+func benchList(h *interp.Heap, n int) *interp.Node {
+	var head, prev *interp.Node
+	for i := 0; i < n; i++ {
+		node := h.New("List")
+		node.Ints["x"] = int64(i)
+		if prev == nil {
+			head = node
+		} else {
+			prev.Ptrs["next"] = node
+		}
+		prev = node
+	}
+	return head
+}
+
+// BenchmarkScalarSimulator measures simulated instructions per wall second.
+func BenchmarkScalarSimulator(b *testing.B) {
+	p := benchProgram(b)
+	h := interp.NewHeap()
+	hd := benchList(h, 1000)
+	args := map[string]Word{"hd": RefWord(hd)}
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		res, err := RunScalar(p, DefaultScalar(), h, args)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = res.Instrs
+	}
+	b.ReportMetric(float64(instrs), "sim-instrs/op")
+}
+
+// BenchmarkVLIWSimulator measures bundle execution throughput.
+func BenchmarkVLIWSimulator(b *testing.B) {
+	p := Sequentialize(benchProgram(b))
+	h := interp.NewHeap()
+	hd := benchList(h, 1000)
+	args := map[string]Word{"hd": RefWord(hd)}
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := RunVLIW(p, DefaultVLIW(), h, args)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles/op")
+}

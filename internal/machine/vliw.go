@@ -1,0 +1,218 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Bundle is one VLIW instruction word: up to Width operations issued
+// together. Within a bundle every operation reads register values from
+// before the cycle; writes commit at the end of the cycle. This
+// read-before-write semantics makes the software-pipelining shift registers
+// of Section 5.2 free.
+type Bundle []*ir.Instr
+
+// VLIWProgram is a sequence of bundles with bundle-level labels.
+type VLIWProgram struct {
+	Width   int
+	Bundles []Bundle
+	Labels  map[string]int // label -> bundle index
+}
+
+// NewVLIWProgram returns an empty program of the given width.
+func NewVLIWProgram(width int) *VLIWProgram {
+	return &VLIWProgram{Width: width, Labels: map[string]int{}}
+}
+
+// Add appends a bundle, checking the width.
+func (p *VLIWProgram) Add(b Bundle) error {
+	if len(b) > p.Width {
+		return fmt.Errorf("bundle of %d ops exceeds width %d", len(b), p.Width)
+	}
+	p.Bundles = append(p.Bundles, b)
+	return nil
+}
+
+// MustAdd appends a bundle and panics on overflow (generator-internal).
+func (p *VLIWProgram) MustAdd(b Bundle) {
+	if err := p.Add(b); err != nil {
+		panic(err)
+	}
+}
+
+// Mark labels the next bundle to be added.
+func (p *VLIWProgram) Mark(label string) { p.Labels[label] = len(p.Bundles) }
+
+// String renders the program.
+func (p *VLIWProgram) String() string {
+	var sb strings.Builder
+	byIdx := map[int][]string{}
+	for l, i := range p.Labels {
+		byIdx[i] = append(byIdx[i], l)
+	}
+	for i, b := range p.Bundles {
+		for _, l := range byIdx[i] {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		parts := make([]string, len(b))
+		for j, in := range b {
+			parts[j] = in.String()
+		}
+		fmt.Fprintf(&sb, "C%-3d [ %s ]\n", i, strings.Join(parts, " | "))
+	}
+	for l, i := range p.Labels {
+		if i == len(p.Bundles) {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+	}
+	return sb.String()
+}
+
+// VLIWConfig parameterizes the VLIW machine.
+type VLIWConfig struct {
+	// SpeculativeLoads makes loads through NULL yield NULL instead of
+	// faulting — the non-faulting loads that let the paper hoist S6 above
+	// the exit test (Section 3.2, speculative traversability).
+	SpeculativeLoads bool
+	MaxCycles        int64
+}
+
+// DefaultVLIW enables speculative loads (the paper's setting).
+func DefaultVLIW() VLIWConfig {
+	return VLIWConfig{SpeculativeLoads: true, MaxCycles: 1 << 26}
+}
+
+// RunVLIW executes the bundle program: one bundle per cycle.
+func RunVLIW(p *VLIWProgram, cfg VLIWConfig, heap *interp.Heap, args map[string]Word) (*Result, error) {
+	regs := map[string]Word{}
+	for k, v := range args {
+		regs[k] = v
+	}
+	get := func(r string) Word {
+		if r == "" {
+			return Null
+		}
+		return regs[r]
+	}
+
+	res := &Result{}
+	pc := 0
+	for pc < len(p.Bundles) {
+		if cfg.MaxCycles > 0 && res.Cycles > cfg.MaxCycles {
+			return nil, &Fault{PC: pc, Msg: "cycle budget exhausted"}
+		}
+		res.Cycles++
+		bundle := p.Bundles[pc]
+
+		// Phase 1: read and compute with pre-cycle values.
+		type write struct {
+			reg string
+			val Word
+		}
+		type memwrite struct {
+			node  *interp.Node
+			field string
+			val   Word
+		}
+		var writes []write
+		var memwrites []memwrite
+		jump := ""
+		done := false
+		for _, in := range bundle {
+			res.Instrs++
+			switch in.Op {
+			case ir.Nop:
+			case ir.Goto:
+				// A bundle may pair a conditional exit with the back-edge
+				// goto; the first taken transfer in bundle order wins.
+				if jump == "" {
+					jump = in.Target
+				}
+			case ir.Br:
+				if jump == "" && evalRel(in.Rel, get(in.Src1), get(in.Src2)) {
+					jump = in.Target
+				}
+			case ir.Load:
+				base := get(in.Src1)
+				if !base.IsRef || base.Ref == nil {
+					if !cfg.SpeculativeLoads {
+						return nil, &Fault{PC: pc, Msg: "load through NULL: " + in.String()}
+					}
+					writes = append(writes, write{in.Dst, Null})
+					continue
+				}
+				writes = append(writes, write{in.Dst, readField(base.Ref, in.Field)})
+			case ir.Store:
+				base := get(in.Src1)
+				if !base.IsRef || base.Ref == nil {
+					return nil, &Fault{PC: pc, Msg: "store through NULL: " + in.String()}
+				}
+				memwrites = append(memwrites, memwrite{base.Ref, in.Field, get(in.Src2)})
+			case ir.LoadImm:
+				writes = append(writes, write{in.Dst, IntWord(in.Imm)})
+			case ir.Move:
+				writes = append(writes, write{in.Dst, get(in.Src1)})
+			case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Rem:
+				v, err := arith(in.Op, get(in.Src1), get(in.Src2), pc)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, write{in.Dst, v})
+			case ir.Neg:
+				writes = append(writes, write{in.Dst, IntWord(-get(in.Src1).Int)})
+			case ir.Set:
+				v := IntWord(0)
+				if evalRel(in.Rel, get(in.Src1), get(in.Src2)) {
+					v = IntWord(1)
+				}
+				writes = append(writes, write{in.Dst, v})
+			case ir.New:
+				writes = append(writes, write{in.Dst, RefWord(heap.New(in.TypeName))})
+			case ir.Ret:
+				res.Ret = get(in.Src1)
+				done = true
+			default:
+				return nil, &Fault{PC: pc, Msg: "unsupported op " + in.Op.String()}
+			}
+		}
+
+		// Phase 2: commit.
+		for _, mw := range memwrites {
+			writeField(mw.node, mw.field, mw.val)
+		}
+		for _, w := range writes {
+			regs[w.reg] = w.val
+		}
+		if done {
+			break
+		}
+		if jump != "" {
+			t, ok := p.Labels[jump]
+			if !ok {
+				return nil, &Fault{PC: pc, Msg: "undefined label " + jump}
+			}
+			pc = t
+			continue
+		}
+		pc++
+	}
+	res.Regs = regs
+	return res, nil
+}
+
+// Sequentialize turns a linear IR program into one-op bundles — the
+// baseline "unpipelined VLIW" execution for speedup comparisons.
+func Sequentialize(p *ir.Program) *VLIWProgram {
+	out := NewVLIWProgram(1)
+	for _, in := range p.Instrs {
+		if in.Op == ir.Label {
+			out.Mark(in.Name)
+			continue
+		}
+		out.MustAdd(Bundle{in})
+	}
+	return out
+}

@@ -1,0 +1,609 @@
+// Package norm lowers a checked mini function into a control-flow graph of
+// normalized statements. Every pointer effect is reduced to one of the
+// canonical forms the paper's analysis rules speak about:
+//
+//	p = q          (Assign)
+//	p = NULL       (AssignNil)
+//	p = new T      (AssignNew)
+//	p = q->f       (Deref)
+//	p->f = q       (StorePtr, q may be NULL)
+//	free(p)        (Free)
+//
+// plus scalar heap accesses (ScalarRead/ScalarWrite) that the alias analyses
+// ignore but the dependence tests need, opaque calls, and pointer condition
+// tests that let the analyses refine facts on branch outcomes. Multi-level
+// dereference chains are flattened with compiler temporaries (@t1, @t2, ...).
+package norm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/shape"
+	"repro/internal/source/ast"
+	"repro/internal/source/token"
+	"repro/internal/source/types"
+)
+
+// Op is the kind of a normalized statement.
+type Op int
+
+// Normalized statement kinds.
+const (
+	Assign      Op = iota // Dst = Src
+	AssignNil             // Dst = NULL
+	AssignNew             // Dst = new TypeName
+	Deref                 // Dst = Src->Field
+	StorePtr              // Base->Field = Src ("" means NULL)
+	ScalarRead            // int read of Base->Field
+	ScalarWrite           // int write of Base->Field
+	ScalarOp              // computation on scalars only; no heap access
+	Free                  // free(Base)
+	Call                  // opaque call; may mutate anything reachable via args
+)
+
+func (o Op) String() string {
+	switch o {
+	case Assign:
+		return "assign"
+	case AssignNil:
+		return "assign-nil"
+	case AssignNew:
+		return "new"
+	case Deref:
+		return "deref"
+	case StorePtr:
+		return "store-ptr"
+	case ScalarRead:
+		return "scalar-read"
+	case ScalarWrite:
+		return "scalar-write"
+	case ScalarOp:
+		return "scalar-op"
+	case Free:
+		return "free"
+	case Call:
+		return "call"
+	}
+	return "?"
+}
+
+// Stmt is one normalized statement.
+type Stmt struct {
+	Op       Op
+	Dst      string // Assign*, Deref: destination pointer variable
+	Src      string // Assign, Deref, StorePtr: source pointer variable
+	Base     string // Deref uses Src; StorePtr/Scalar*/Free use Base
+	Field    string
+	TypeName string    // AssignNew: allocated type; others: record type of Base/Src
+	Args     []string  // Call: pointer arguments (escaping roots)
+	Pos      token.Pos // original source position
+}
+
+// String renders the statement in source-like form.
+func (s *Stmt) String() string {
+	switch s.Op {
+	case Assign:
+		return fmt.Sprintf("%s = %s", s.Dst, s.Src)
+	case AssignNil:
+		return fmt.Sprintf("%s = NULL", s.Dst)
+	case AssignNew:
+		return fmt.Sprintf("%s = new %s", s.Dst, s.TypeName)
+	case Deref:
+		return fmt.Sprintf("%s = %s->%s", s.Dst, s.Src, s.Field)
+	case StorePtr:
+		src := s.Src
+		if src == "" {
+			src = "NULL"
+		}
+		return fmt.Sprintf("%s->%s = %s", s.Base, s.Field, src)
+	case ScalarRead:
+		return fmt.Sprintf("read %s->%s", s.Base, s.Field)
+	case ScalarWrite:
+		return fmt.Sprintf("write %s->%s", s.Base, s.Field)
+	case ScalarOp:
+		return "scalar-op"
+	case Free:
+		return fmt.Sprintf("free(%s)", s.Base)
+	case Call:
+		return fmt.Sprintf("call(%s)", strings.Join(s.Args, ", "))
+	}
+	return "?"
+}
+
+// CondKind classifies a branch condition for refinement purposes.
+type CondKind int
+
+// Branch condition kinds. Opaque conditions give the analyses nothing to
+// refine on; nil tests and pointer equality tests do.
+const (
+	CondOpaque CondKind = iota
+	CondNilEQ           // Var == NULL on the true edge
+	CondNilNE           // Var != NULL on the true edge
+	CondPtrEQ           // Var == Var2 on the true edge
+	CondPtrNE           // Var != Var2 on the true edge
+)
+
+// Cond is the condition attached to a branch node.
+type Cond struct {
+	Kind CondKind
+	Var  string
+	Var2 string
+}
+
+func (c *Cond) String() string {
+	switch c.Kind {
+	case CondNilEQ:
+		return c.Var + " == NULL"
+	case CondNilNE:
+		return c.Var + " != NULL"
+	case CondPtrEQ:
+		return c.Var + " == " + c.Var2
+	case CondPtrNE:
+		return c.Var + " != " + c.Var2
+	}
+	return "<opaque>"
+}
+
+// NodeKind classifies CFG nodes.
+type NodeKind int
+
+// Node kinds. Branch nodes have exactly two successors: Succs[0] taken when
+// the condition is true, Succs[1] when false.
+const (
+	NodeEntry NodeKind = iota
+	NodeExit
+	NodeStmt
+	NodeBranch
+	NodeJoin // including loop heads
+)
+
+// Node is a CFG node.
+type Node struct {
+	ID    int
+	Kind  NodeKind
+	Stmt  *Stmt // for NodeStmt
+	Cond  *Cond // for NodeBranch
+	Succs []*Node
+	Preds []*Node
+	Loop  *Loop // for loop-head joins
+}
+
+// Loop records a while loop: its head join node (the dataflow fixed point
+// target), the branch that tests the condition, the set of body nodes, and
+// the source statement it was lowered from (for cross-referencing with
+// other IRs).
+type Loop struct {
+	Head   *Node
+	Branch *Node
+	Body   map[*Node]bool
+	While  *ast.WhileStmt
+}
+
+// Graph is the normalized CFG of one function.
+type Graph struct {
+	Fn       *types.FuncInfo
+	Entry    *Node
+	Exit     *Node
+	Nodes    []*Node
+	Loops    []*Loop // outermost first, in source order
+	VarTypes map[string]types.Type
+	ntemp    int
+}
+
+// PointerVars returns all pointer variables including generated temporaries,
+// parameters and locals first, in a stable order.
+func (g *Graph) PointerVars() []string {
+	out := g.Fn.PointerVars()
+	for i := 1; i <= g.ntemp; i++ {
+		name := tempName(i)
+		if g.VarTypes[name].Kind == types.KindPointer {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func tempName(i int) string { return fmt.Sprintf("@t%d", i) }
+
+// IsTemp reports whether the variable name is a generated temporary.
+func IsTemp(name string) bool { return strings.HasPrefix(name, "@t") }
+
+func (g *Graph) newNode(kind NodeKind) *Node {
+	n := &Node{ID: len(g.Nodes), Kind: kind}
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+func link(from, to *Node) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// Build lowers the function into a CFG.
+func Build(fi *types.FuncInfo, env *shape.Env) *Graph {
+	g := &Graph{Fn: fi, VarTypes: map[string]types.Type{}}
+	for v, t := range fi.Vars {
+		g.VarTypes[v] = t
+	}
+	b := &builder{g: g, env: env}
+	g.Entry = g.newNode(NodeEntry)
+	g.Exit = g.newNode(NodeExit)
+	cur := b.block(fi.Decl.Body, g.Entry)
+	if cur != nil {
+		link(cur, g.Exit)
+	}
+	return g
+}
+
+type builder struct {
+	g   *Graph
+	env *shape.Env
+}
+
+func (b *builder) temp(t types.Type) string {
+	b.g.ntemp++
+	name := tempName(b.g.ntemp)
+	b.g.VarTypes[name] = t
+	return name
+}
+
+// emit appends a statement node after cur and returns the new tail.
+func (b *builder) emit(cur *Node, s *Stmt) *Node {
+	n := b.g.newNode(NodeStmt)
+	n.Stmt = s
+	link(cur, n)
+	return n
+}
+
+// block lowers a block; returns the tail node, or nil if control never falls
+// through (all paths return).
+func (b *builder) block(blk *ast.Block, cur *Node) *Node {
+	for _, s := range blk.Stmts {
+		if cur == nil {
+			return nil // unreachable code after return
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+func (b *builder) stmt(s ast.Stmt, cur *Node) *Node {
+	switch s := s.(type) {
+	case *ast.Block:
+		return b.block(s, cur)
+	case *ast.AssignStmt:
+		return b.assign(s, cur)
+	case *ast.WhileStmt:
+		return b.while(s, cur)
+	case *ast.IfStmt:
+		return b.ifStmt(s, cur)
+	case *ast.ReturnStmt:
+		if s.Value != nil {
+			cur = b.evalScalar(s.Value, cur)
+		}
+		link(cur, b.g.Exit)
+		return nil
+	case *ast.CallStmt:
+		return b.call(s.Call, cur)
+	case *ast.FreeStmt:
+		v, cur2 := b.evalPointer(s.Target, cur)
+		return b.emit(cur2, &Stmt{Op: Free, Base: v, Pos: s.FreePos})
+	}
+	return cur
+}
+
+// varType returns the type of a variable (including temps).
+func (b *builder) varType(name string) types.Type { return b.g.VarTypes[name] }
+
+// pathType types a prefix of a field path.
+func (b *builder) pathType(p *ast.Path, nFields int) types.Type {
+	t := b.varType(p.Var)
+	for i := 0; i < nFields; i++ {
+		if t.Kind != types.KindPointer {
+			return types.Invalid
+		}
+		st := b.env.Type(t.Record)
+		if st == nil {
+			return types.Invalid
+		}
+		if st.HasIntField(p.Fields[i]) {
+			t = types.Int
+		} else if pf := st.Field(p.Fields[i]); pf != nil {
+			t = types.PointerTo(pf.Target)
+		} else {
+			return types.Invalid
+		}
+	}
+	return t
+}
+
+// resolveBase lowers the first n-1 dereferences of a path into temporaries
+// and returns the variable that the n-th field access should use as its
+// base. With n == 1 (or n == 0) no temporaries are needed and the path's
+// root variable is returned directly.
+func (b *builder) resolveBase(p *ast.Path, n int, cur *Node) (string, *Node) {
+	base := p.Var
+	for i := 0; i < n-1; i++ {
+		t := b.pathType(p, i+1)
+		tmp := b.temp(t)
+		cur = b.emit(cur, &Stmt{
+			Op: Deref, Dst: tmp, Src: base, Field: p.Fields[i],
+			TypeName: b.recordOf(base), Pos: p.VarPos,
+		})
+		base = tmp
+	}
+	return base, cur
+}
+
+func (b *builder) recordOf(varName string) string {
+	t := b.varType(varName)
+	if t.Kind == types.KindPointer {
+		return t.Record
+	}
+	return ""
+}
+
+// evalPointer lowers a pointer-valued expression and returns a variable
+// holding its value ("" for NULL).
+func (b *builder) evalPointer(e ast.Expr, cur *Node) (string, *Node) {
+	switch e := e.(type) {
+	case *ast.NullLit:
+		return "", cur
+	case *ast.NewExpr:
+		tmp := b.temp(types.PointerTo(e.TypeName))
+		cur = b.emit(cur, &Stmt{Op: AssignNew, Dst: tmp, TypeName: e.TypeName, Pos: e.NewPos})
+		return tmp, cur
+	case *ast.Path:
+		if e.IsVar() {
+			return e.Var, cur
+		}
+		base, cur2 := b.resolveBase(e, len(e.Fields), cur)
+		t := b.pathType(e, len(e.Fields))
+		tmp := b.temp(t)
+		cur3 := b.emit(cur2, &Stmt{
+			Op: Deref, Dst: tmp, Src: base, Field: e.Fields[len(e.Fields)-1],
+			TypeName: b.recordOf(base), Pos: e.VarPos,
+		})
+		return tmp, cur3
+	}
+	// Type checker guarantees we never get here.
+	return "", cur
+}
+
+// evalScalar lowers an int-valued expression, emitting ScalarRead for every
+// heap read (with Deref temps for intermediate pointers), then one ScalarOp.
+func (b *builder) evalScalar(e ast.Expr, cur *Node) *Node {
+	cur = b.scalarReads(e, cur)
+	return b.emit(cur, &Stmt{Op: ScalarOp, Pos: e.Pos()})
+}
+
+// scalarReads emits the heap reads of an int expression without the final
+// ScalarOp (used when the caller will emit a write or branch).
+func (b *builder) scalarReads(e ast.Expr, cur *Node) *Node {
+	switch e := e.(type) {
+	case *ast.Path:
+		if e.IsVar() {
+			return cur
+		}
+		base, cur2 := b.resolveBase(e, len(e.Fields), cur)
+		last := e.Fields[len(e.Fields)-1]
+		t := b.pathType(e, len(e.Fields))
+		if t.Kind == types.KindInt {
+			return b.emit(cur2, &Stmt{
+				Op: ScalarRead, Base: base, Field: last,
+				TypeName: b.recordOf(base), Pos: e.VarPos,
+			})
+		}
+		// Pointer-valued path inside an int expression (comparisons):
+		// materialize it so the analyses see the traversal.
+		tmp := b.temp(t)
+		return b.emit(cur2, &Stmt{
+			Op: Deref, Dst: tmp, Src: base, Field: last,
+			TypeName: b.recordOf(base), Pos: e.VarPos,
+		})
+	case *ast.BinExpr:
+		cur = b.scalarReads(e.X, cur)
+		return b.scalarReads(e.Y, cur)
+	case *ast.UnExpr:
+		return b.scalarReads(e.X, cur)
+	case *ast.CallExpr:
+		return b.callExpr(e, cur)
+	}
+	return cur
+}
+
+func (b *builder) assign(s *ast.AssignStmt, cur *Node) *Node {
+	lt := b.pathType(s.LHS, len(s.LHS.Fields))
+
+	if lt.Kind == types.KindPointer {
+		if s.LHS.IsVar() {
+			dst := s.LHS.Var
+			switch rhs := s.RHS.(type) {
+			case *ast.NullLit:
+				return b.emit(cur, &Stmt{Op: AssignNil, Dst: dst, Pos: s.LHS.VarPos})
+			case *ast.NewExpr:
+				return b.emit(cur, &Stmt{Op: AssignNew, Dst: dst, TypeName: rhs.TypeName, Pos: s.LHS.VarPos})
+			case *ast.Path:
+				if rhs.IsVar() {
+					return b.emit(cur, &Stmt{Op: Assign, Dst: dst, Src: rhs.Var, Pos: s.LHS.VarPos})
+				}
+				base, cur2 := b.resolveBase(rhs, len(rhs.Fields), cur)
+				return b.emit(cur2, &Stmt{
+					Op: Deref, Dst: dst, Src: base, Field: rhs.Fields[len(rhs.Fields)-1],
+					TypeName: b.recordOf(base), Pos: s.LHS.VarPos,
+				})
+			}
+			src, cur2 := b.evalPointer(s.RHS, cur)
+			return b.emit(cur2, &Stmt{Op: Assign, Dst: dst, Src: src, Pos: s.LHS.VarPos})
+		}
+		// p->...->f = pointer rhs
+		src, cur2 := b.evalPointer(s.RHS, cur)
+		base, cur3 := b.resolveBase(s.LHS, len(s.LHS.Fields), cur2)
+		return b.emit(cur3, &Stmt{
+			Op: StorePtr, Base: base, Field: s.LHS.Fields[len(s.LHS.Fields)-1],
+			Src: src, TypeName: b.recordOf(base), Pos: s.LHS.VarPos,
+		})
+	}
+
+	// Scalar assignment.
+	cur = b.scalarReads(s.RHS, cur)
+	if s.LHS.IsVar() {
+		return b.emit(cur, &Stmt{Op: ScalarOp, Pos: s.LHS.VarPos})
+	}
+	base, cur2 := b.resolveBase(s.LHS, len(s.LHS.Fields), cur)
+	return b.emit(cur2, &Stmt{
+		Op: ScalarWrite, Base: base, Field: s.LHS.Fields[len(s.LHS.Fields)-1],
+		TypeName: b.recordOf(base), Pos: s.LHS.VarPos,
+	})
+}
+
+// cond lowers a condition expression to a branch node, returning it. Heap
+// reads inside the condition are emitted before the branch.
+func (b *builder) cond(e ast.Expr, cur *Node) (*Node, *Node) {
+	c := &Cond{Kind: CondOpaque}
+	if bin, ok := e.(*ast.BinExpr); ok && (bin.Op == token.EQ || bin.Op == token.NEQ) {
+		xPath, xIsPath := bin.X.(*ast.Path)
+		yPath, yIsPath := bin.Y.(*ast.Path)
+		_, xIsNull := bin.X.(*ast.NullLit)
+		_, yIsNull := bin.Y.(*ast.NullLit)
+
+		isPtrVar := func(p *ast.Path) bool {
+			return p.IsVar() && b.varType(p.Var).Kind == types.KindPointer
+		}
+		switch {
+		case xIsPath && isPtrVar(xPath) && yIsNull:
+			c = &Cond{Kind: CondNilEQ, Var: xPath.Var}
+		case yIsPath && isPtrVar(yPath) && xIsNull:
+			c = &Cond{Kind: CondNilEQ, Var: yPath.Var}
+		case xIsPath && yIsPath && isPtrVar(xPath) && isPtrVar(yPath):
+			c = &Cond{Kind: CondPtrEQ, Var: xPath.Var, Var2: yPath.Var}
+		}
+		if c.Kind != CondOpaque && bin.Op == token.NEQ {
+			switch c.Kind {
+			case CondNilEQ:
+				c.Kind = CondNilNE
+			case CondPtrEQ:
+				c.Kind = CondPtrNE
+			}
+		}
+	}
+	if c.Kind == CondOpaque {
+		cur = b.scalarReads(e, cur)
+	}
+	br := b.g.newNode(NodeBranch)
+	br.Cond = c
+	link(cur, br)
+	return br, cur
+}
+
+func (b *builder) while(s *ast.WhileStmt, cur *Node) *Node {
+	head := b.g.newNode(NodeJoin)
+	link(cur, head)
+	firstBody := len(b.g.Nodes) // condition nodes re-execute every iteration
+	br, _ := b.cond(s.Cond, head)
+
+	loop := &Loop{Head: head, Branch: br, Body: map[*Node]bool{}, While: s}
+	head.Loop = loop
+	b.g.Loops = append(b.g.Loops, loop)
+	bodyEntry := b.g.newNode(NodeJoin)
+	br.Succs = append(br.Succs, bodyEntry) // true edge
+	bodyEntry.Preds = append(bodyEntry.Preds, br)
+	tail := b.block(bodyOf(s.Body), bodyEntry)
+	if tail != nil {
+		link(tail, head) // back edge
+	}
+	for _, n := range b.g.Nodes[firstBody:] {
+		loop.Body[n] = true
+	}
+
+	after := b.g.newNode(NodeJoin)
+	br.Succs = append(br.Succs, after) // false edge
+	after.Preds = append(after.Preds, br)
+	return after
+}
+
+// bodyOf wraps a non-block loop/if body in a synthetic block.
+func bodyOf(s ast.Stmt) *ast.Block {
+	if blk, ok := s.(*ast.Block); ok {
+		return blk
+	}
+	return &ast.Block{Stmts: []ast.Stmt{s}}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt, cur *Node) *Node {
+	br, _ := b.cond(s.Cond, cur)
+
+	thenEntry := b.g.newNode(NodeJoin)
+	br.Succs = append(br.Succs, thenEntry)
+	thenEntry.Preds = append(thenEntry.Preds, br)
+	thenTail := b.block(bodyOf(s.Then), thenEntry)
+
+	elseEntry := b.g.newNode(NodeJoin)
+	br.Succs = append(br.Succs, elseEntry)
+	elseEntry.Preds = append(elseEntry.Preds, br)
+	var elseTail *Node = elseEntry
+	if s.Else != nil {
+		elseTail = b.block(bodyOf(s.Else), elseEntry)
+	}
+
+	if thenTail == nil && elseTail == nil {
+		return nil
+	}
+	join := b.g.newNode(NodeJoin)
+	if thenTail != nil {
+		link(thenTail, join)
+	}
+	if elseTail != nil {
+		link(elseTail, join)
+	}
+	return join
+}
+
+func (b *builder) call(call *ast.CallExpr, cur *Node) *Node {
+	return b.callExpr(call, cur)
+}
+
+func (b *builder) callExpr(call *ast.CallExpr, cur *Node) *Node {
+	var ptrArgs []string
+	for _, a := range call.Args {
+		if p, ok := a.(*ast.Path); ok && p.IsVar() && b.varType(p.Var).Kind == types.KindPointer {
+			ptrArgs = append(ptrArgs, p.Var)
+			continue
+		}
+		if _, ok := a.(*ast.NullLit); ok {
+			continue
+		}
+		cur = b.scalarReads(a, cur)
+	}
+	return b.emit(cur, &Stmt{Op: Call, Args: ptrArgs, Pos: call.NamePos})
+}
+
+// String renders the CFG for debugging.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, n := range g.Nodes {
+		var desc string
+		switch n.Kind {
+		case NodeEntry:
+			desc = "entry"
+		case NodeExit:
+			desc = "exit"
+		case NodeStmt:
+			desc = n.Stmt.String()
+		case NodeBranch:
+			desc = "branch " + n.Cond.String()
+		case NodeJoin:
+			desc = "join"
+			if n.Loop != nil {
+				desc = "loop-head"
+			}
+		}
+		var succs []string
+		for _, s := range n.Succs {
+			succs = append(succs, fmt.Sprintf("%d", s.ID))
+		}
+		fmt.Fprintf(&sb, "%3d: %-30s -> %s\n", n.ID, desc, strings.Join(succs, ","))
+	}
+	return sb.String()
+}

@@ -1,0 +1,357 @@
+package norm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/source/parser"
+	"repro/internal/source/types"
+)
+
+const listDecl = `
+type List [X] {
+    int data;
+    List *next is uniquely forward along X;
+    List *prev is backward along X;
+};
+`
+
+func build(t *testing.T, src, fn string) *Graph {
+	t.Helper()
+	info := types.MustCheck(parser.MustParse(src))
+	fi := info.Func(fn)
+	if fi == nil {
+		t.Fatalf("function %s not found", fn)
+	}
+	return Build(fi, info.Env)
+}
+
+// stmts collects the normalized statements in node order.
+func stmts(g *Graph) []*Stmt {
+	var out []*Stmt
+	for _, n := range g.Nodes {
+		if n.Kind == NodeStmt {
+			out = append(out, n.Stmt)
+		}
+	}
+	return out
+}
+
+func stmtStrings(g *Graph) []string {
+	var out []string
+	for _, s := range stmts(g) {
+		out = append(out, s.String())
+	}
+	return out
+}
+
+func TestSimpleAssigns(t *testing.T) {
+	g := build(t, listDecl+`
+void f(List *p, List *q) {
+    p = q;
+    p = NULL;
+    p = new List;
+    p = q->next;
+    p->next = q;
+    p->next = NULL;
+}`, "f")
+	got := stmtStrings(g)
+	want := []string{
+		"p = q",
+		"p = NULL",
+		"p = new List",
+		"p = q->next",
+		"p->next = q",
+		"p->next = NULL",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("stmt %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMultiDerefIntroducesTemps(t *testing.T) {
+	g := build(t, listDecl+`
+void f(List *p, List *q) {
+    p = q->next->next;
+}`, "f")
+	got := stmtStrings(g)
+	want := []string{"@t1 = q->next", "p = @t1->next"}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Errorf("got %v want %v", got, want)
+	}
+	if !IsTemp("@t1") || IsTemp("p") {
+		t.Error("IsTemp misclassifies")
+	}
+}
+
+func TestStoreThroughPath(t *testing.T) {
+	g := build(t, listDecl+`
+void f(List *p, List *q) {
+    p->next->next = q;
+}`, "f")
+	got := stmtStrings(g)
+	want := []string{"@t1 = p->next", "@t1->next = q"}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestScalarAccesses(t *testing.T) {
+	g := build(t, listDecl+`
+void f(List *p, List *hd) {
+    p->data = p->data - hd->data;
+}`, "f")
+	got := stmtStrings(g)
+	want := []string{"read p->data", "read hd->data", "write p->data"}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestShiftOriginCFGShape(t *testing.T) {
+	g := build(t, listDecl+`
+void shift(List *hd) {
+    List *p;
+    p = hd->next;
+    while (p != NULL) {
+        p->data = p->data - hd->data;
+        p = p->next;
+    }
+}`, "shift")
+
+	if len(g.Loops) != 1 {
+		t.Fatalf("loops = %d", len(g.Loops))
+	}
+	loop := g.Loops[0]
+	if loop.Branch.Cond.Kind != CondNilNE || loop.Branch.Cond.Var != "p" {
+		t.Errorf("loop cond = %v", loop.Branch.Cond)
+	}
+	// The loop body must contain the scalar ops and the advance.
+	var bodyStmts []string
+	for _, n := range g.Nodes {
+		if n.Kind == NodeStmt && loop.Body[n] {
+			bodyStmts = append(bodyStmts, n.Stmt.String())
+		}
+	}
+	want := []string{"read p->data", "read hd->data", "write p->data", "p = p->next"}
+	if strings.Join(bodyStmts, ";") != strings.Join(want, ";") {
+		t.Errorf("body = %v", bodyStmts)
+	}
+	// The advance statement's tail links back to the loop head.
+	if loop.Head.Loop != loop {
+		t.Error("head not linked to loop")
+	}
+}
+
+func TestBranchEdgesOrdered(t *testing.T) {
+	g := build(t, listDecl+`
+void f(List *p) {
+    if (p == NULL) {
+        p = new List;
+    } else {
+        p = p->next;
+    }
+    p = NULL;
+}`, "f")
+	var br *Node
+	for _, n := range g.Nodes {
+		if n.Kind == NodeBranch {
+			br = n
+			break
+		}
+	}
+	if br == nil {
+		t.Fatal("no branch node")
+	}
+	if br.Cond.Kind != CondNilEQ {
+		t.Fatalf("cond = %v", br.Cond)
+	}
+	if len(br.Succs) != 2 {
+		t.Fatalf("branch has %d succs", len(br.Succs))
+	}
+	// True edge (p == NULL) leads eventually to the allocation.
+	if !reaches(br.Succs[0], func(n *Node) bool {
+		return n.Kind == NodeStmt && n.Stmt.Op == AssignNew
+	}, 5) {
+		t.Error("true edge does not reach allocation")
+	}
+	if !reaches(br.Succs[1], func(n *Node) bool {
+		return n.Kind == NodeStmt && n.Stmt.Op == Deref
+	}, 5) {
+		t.Error("false edge does not reach deref")
+	}
+}
+
+// reaches does a bounded DFS.
+func reaches(n *Node, pred func(*Node) bool, depth int) bool {
+	if depth < 0 {
+		return false
+	}
+	if pred(n) {
+		return true
+	}
+	for _, s := range n.Succs {
+		if reaches(s, pred, depth-1) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPtrEqCondition(t *testing.T) {
+	g := build(t, listDecl+`
+void f(List *p, List *q) {
+    if (p == q) {
+        p = NULL;
+    }
+}`, "f")
+	for _, n := range g.Nodes {
+		if n.Kind == NodeBranch {
+			if n.Cond.Kind != CondPtrEQ || n.Cond.Var != "p" || n.Cond.Var2 != "q" {
+				t.Errorf("cond = %v", n.Cond)
+			}
+			return
+		}
+	}
+	t.Fatal("no branch")
+}
+
+func TestPaperNEQSpelling(t *testing.T) {
+	g := build(t, listDecl+`
+void f(List *p) {
+    while (p <> NULL) {
+        p = p->next;
+    }
+}`, "f")
+	if g.Loops[0].Branch.Cond.Kind != CondNilNE {
+		t.Errorf("cond = %v", g.Loops[0].Branch.Cond)
+	}
+}
+
+func TestReturnTerminates(t *testing.T) {
+	g := build(t, listDecl+`
+void f(List *p) {
+    return;
+    p = NULL;
+}`, "f")
+	// The assignment after return is unreachable and must not be lowered.
+	for _, s := range stmts(g) {
+		if s.Op == AssignNil {
+			t.Error("unreachable statement was lowered")
+		}
+	}
+}
+
+func TestCallArgs(t *testing.T) {
+	g := build(t, listDecl+`
+void callee(List *a, int n) { n = n; }
+void f(List *p) {
+    callee(p, 3);
+}`, "f")
+	var call *Stmt
+	for _, s := range stmts(g) {
+		if s.Op == Call {
+			call = s
+		}
+	}
+	if call == nil {
+		t.Fatal("no call stmt")
+	}
+	if len(call.Args) != 1 || call.Args[0] != "p" {
+		t.Errorf("args = %v", call.Args)
+	}
+}
+
+func TestFree(t *testing.T) {
+	g := build(t, listDecl+`
+void f(List *p) {
+    free(p);
+}`, "f")
+	ss := stmts(g)
+	if len(ss) != 1 || ss[0].Op != Free || ss[0].Base != "p" {
+		t.Errorf("stmts = %v", stmtStrings(g))
+	}
+}
+
+func TestPointerVarsIncludeTemps(t *testing.T) {
+	g := build(t, listDecl+`
+void f(List *p) {
+    p = p->next->next;
+}`, "f")
+	pv := g.PointerVars()
+	found := false
+	for _, v := range pv {
+		if v == "@t1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("PointerVars = %v, missing @t1", pv)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	g := build(t, `
+type Orth [X] [Y] {
+    int data;
+    Orth *across is uniquely forward along X;
+    Orth *down is uniquely forward along Y;
+};
+void f(Orth *m) {
+    Orth *r, *c;
+    r = m;
+    while (r != NULL) {
+        c = r;
+        while (c != NULL) {
+            c->data = 0;
+            c = c->across;
+        }
+        r = r->down;
+    }
+}`, "f")
+	if len(g.Loops) != 2 {
+		t.Fatalf("loops = %d", len(g.Loops))
+	}
+	outer, inner := g.Loops[0], g.Loops[1]
+	// Inner loop's nodes must also be in the outer loop's body.
+	for n := range inner.Body {
+		if !outer.Body[n] {
+			t.Fatalf("inner node %d not in outer body", n.ID)
+		}
+	}
+	if outer.Body[outer.Head] {
+		t.Error("loop head should not be inside its own body set")
+	}
+}
+
+func TestCondHeapReadsInsideLoopBody(t *testing.T) {
+	g := build(t, listDecl+`
+void f(List *p) {
+    while (p->data > 0) {
+        p = p->next;
+    }
+}`, "f")
+	loop := g.Loops[0]
+	foundRead := false
+	for n := range loop.Body {
+		if n.Kind == NodeStmt && n.Stmt.Op == ScalarRead {
+			foundRead = true
+		}
+	}
+	if !foundRead {
+		t.Error("condition heap read not in loop body")
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := build(t, listDecl+`void f(List *p) { p = p->next; }`, "f")
+	s := g.String()
+	if !strings.Contains(s, "p = p->next") || !strings.Contains(s, "entry") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,296 @@
+// Package ast defines the abstract syntax tree of the mini language.
+//
+// The tree mirrors the paper's code fragments: C-like record declarations
+// extended with ADDS dimension/direction clauses, plus a small statement and
+// expression language sufficient for the pointer-manipulating programs the
+// paper analyses.
+package ast
+
+import "repro/internal/source/token"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Types []*TypeDecl
+	Funcs []*FuncDecl
+}
+
+// TypeByName returns the declared type with the given name, or nil.
+func (p *Program) TypeByName(name string) *TypeDecl {
+	for _, t := range p.Types {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// FuncByName returns the declared function with the given name, or nil.
+func (p *Program) FuncByName(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Direction is an ADDS traversal direction for a recursive pointer field.
+type Direction int
+
+// Directions, in increasing order of knowledge. DirNone marks a field with
+// no ADDS clause at all (equivalent to DirUnknown along the default
+// dimension, per Section 3.3 of the paper).
+const (
+	DirNone Direction = iota
+	DirUnknown
+	DirCircular
+	DirBackward
+	DirForward
+	DirUniquelyForward
+)
+
+// String returns the ADDS source spelling of the direction.
+func (d Direction) String() string {
+	switch d {
+	case DirNone:
+		return "none"
+	case DirUnknown:
+		return "unknown"
+	case DirCircular:
+		return "circular"
+	case DirBackward:
+		return "backward"
+	case DirForward:
+		return "forward"
+	case DirUniquelyForward:
+		return "uniquely forward"
+	}
+	return "?"
+}
+
+// TypeDecl is a record type declaration with optional ADDS annotations:
+//
+//	type LOLS [X] [Y] where X || Y {
+//	    int data;
+//	    LOLS *across is uniquely forward along X;
+//	    ...
+//	};
+type TypeDecl struct {
+	NamePos token.Pos
+	Name    string
+	Dims    []string    // declared dimensions, in order; empty means default
+	Indep   [][2]string // pairs declared independent via "where A || B"
+	Fields  []*FieldDecl
+}
+
+func (d *TypeDecl) Pos() token.Pos { return d.NamePos }
+
+// FieldDecl declares one or more fields. A pointer field group declared
+// together ("PBinTree *left, *right is uniquely forward along down;")
+// shares a single FieldDecl, which is how ADDS expresses combined
+// uniquely-forward traversal (Defs 4.7-4.8).
+type FieldDecl struct {
+	FieldPos token.Pos
+	TypeName string   // "int" or a record type name
+	Pointer  bool     // true for recursive pointer fields
+	Names    []string // one or more field names
+	Dir      Direction
+	Dim      string // dimension name; empty if no clause
+}
+
+func (d *FieldDecl) Pos() token.Pos { return d.FieldPos }
+
+// Param is a function parameter.
+type Param struct {
+	NamePos  token.Pos
+	TypeName string // "int" or record type name
+	Pointer  bool
+	Name     string
+}
+
+func (p *Param) Pos() token.Pos { return p.NamePos }
+
+// FuncDecl is a function definition. Mini functions return nothing or int;
+// the analyses only care about their bodies.
+type FuncDecl struct {
+	NamePos token.Pos
+	Name    string
+	Params  []*Param
+	RetInt  bool // true if declared "int f(...)", false for void/func
+	Body    *Block
+}
+
+func (d *FuncDecl) Pos() token.Pos { return d.NamePos }
+
+// VarDecl is a local variable declaration inside a block.
+type VarDecl struct {
+	DeclPos  token.Pos
+	TypeName string
+	Pointer  bool
+	Names    []string
+}
+
+func (d *VarDecl) Pos() token.Pos { return d.DeclPos }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Block is a braced sequence of declarations and statements.
+type Block struct {
+	Lbrace token.Pos
+	Vars   []*VarDecl
+	Stmts  []Stmt
+}
+
+func (s *Block) Pos() token.Pos { return s.Lbrace }
+func (s *Block) stmtNode()      {}
+
+// AssignStmt is "lvalue = expr;". The left side is a variable or a field
+// path (p, p->f, p->f->g, ...).
+type AssignStmt struct {
+	LHS *Path
+	RHS Expr
+}
+
+func (s *AssignStmt) Pos() token.Pos { return s.LHS.Pos() }
+func (s *AssignStmt) stmtNode()      {}
+
+// WhileStmt is "while (cond) body".
+type WhileStmt struct {
+	WhilePos token.Pos
+	Cond     Expr
+	Body     Stmt
+}
+
+func (s *WhileStmt) Pos() token.Pos { return s.WhilePos }
+func (s *WhileStmt) stmtNode()      {}
+
+// IfStmt is "if (cond) then [else els]".
+type IfStmt struct {
+	IfPos token.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // may be nil
+}
+
+func (s *IfStmt) Pos() token.Pos { return s.IfPos }
+func (s *IfStmt) stmtNode()      {}
+
+// ReturnStmt is "return [expr];".
+type ReturnStmt struct {
+	RetPos token.Pos
+	Value  Expr // may be nil
+}
+
+func (s *ReturnStmt) Pos() token.Pos { return s.RetPos }
+func (s *ReturnStmt) stmtNode()      {}
+
+// CallStmt is a call used as a statement: "f(a, b);".
+type CallStmt struct {
+	Call *CallExpr
+}
+
+func (s *CallStmt) Pos() token.Pos { return s.Call.Pos() }
+func (s *CallStmt) stmtNode()      {}
+
+// FreeStmt is "free(p);" — it releases the node p points to.
+type FreeStmt struct {
+	FreePos token.Pos
+	Target  *Path
+}
+
+func (s *FreeStmt) Pos() token.Pos { return s.FreePos }
+func (s *FreeStmt) stmtNode()      {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Path is a variable optionally followed by field dereferences:
+// p, p->next, p->next->data. It appears both as an lvalue and an rvalue.
+type Path struct {
+	VarPos token.Pos
+	Var    string
+	Fields []string // dereference chain, outermost first
+}
+
+func (e *Path) Pos() token.Pos { return e.VarPos }
+func (e *Path) exprNode()      {}
+
+// IsVar reports whether the path is a bare variable.
+func (e *Path) IsVar() bool { return len(e.Fields) == 0 }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	LitPos token.Pos
+	Value  int64
+}
+
+func (e *IntLit) Pos() token.Pos { return e.LitPos }
+func (e *IntLit) exprNode()      {}
+
+// NullLit is the NULL pointer literal.
+type NullLit struct {
+	LitPos token.Pos
+}
+
+func (e *NullLit) Pos() token.Pos { return e.LitPos }
+func (e *NullLit) exprNode()      {}
+
+// NewExpr is "new T": allocation of a fresh node of record type T.
+type NewExpr struct {
+	NewPos   token.Pos
+	TypeName string
+}
+
+func (e *NewExpr) Pos() token.Pos { return e.NewPos }
+func (e *NewExpr) exprNode()      {}
+
+// BinExpr is a binary operation. Op is one of the arithmetic, relational or
+// logical token kinds.
+type BinExpr struct {
+	Op   token.Kind
+	X, Y Expr
+}
+
+func (e *BinExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *BinExpr) exprNode()      {}
+
+// UnExpr is unary minus or logical not.
+type UnExpr struct {
+	OpPos token.Pos
+	Op    token.Kind
+	X     Expr
+}
+
+func (e *UnExpr) Pos() token.Pos { return e.OpPos }
+func (e *UnExpr) exprNode()      {}
+
+// CallExpr is a function call.
+type CallExpr struct {
+	NamePos token.Pos
+	Name    string
+	Args    []Expr
+}
+
+func (e *CallExpr) Pos() token.Pos { return e.NamePos }
+func (e *CallExpr) exprNode()      {}

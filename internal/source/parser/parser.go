@@ -1,0 +1,610 @@
+// Package parser builds a mini AST from source text.
+//
+// The grammar (EBNF, terminals quoted):
+//
+//	Program    = { TypeDecl | FuncDecl } .
+//	TypeDecl   = "type" ident { "[" ident "]" } [ "where" Indep { "," Indep } ]
+//	             "{" { FieldDecl } "}" [ ";" ] .
+//	Indep      = ident "||" ident .
+//	FieldDecl  = "int" ident { "," ident } ";"
+//	           | ident "*" ident { "," "*" ident } [ ADDSClause ] ";" .
+//	ADDSClause = "is" Direction [ "along" ident ] .
+//	Direction  = [ "uniquely" ] "forward" | "backward" | "unknown" | "circular" .
+//	FuncDecl   = ( "void" | "int" | "func" ) ident "(" [ Params ] ")" Block .
+//	Params     = Param { "," Param } .
+//	Param      = "int" ident | ident "*" ident .
+//	Block      = "{" { VarDecl } { Stmt } "}" .
+//	VarDecl    = "int" ident { "," ident } ";"
+//	           | ident "*" ident { "," "*" ident } ";" .
+//	Stmt       = Path "=" Expr ";" | "while" "(" Expr ")" Stmt
+//	           | "if" "(" Expr ")" Stmt [ "else" Stmt ] | Block
+//	           | "return" [ Expr ] ";" | ident "(" Args ")" ";"
+//	           | "free" "(" Path ")" ";" .
+//	Path       = ident { "->" ident } .
+//
+// Expressions use C precedence: || < && < comparisons < + - < * / % < unary.
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/source/ast"
+	"repro/internal/source/lexer"
+	"repro/internal/source/token"
+)
+
+// Error is a syntax error at a position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a non-empty list of parse errors.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 1 {
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+type parser struct {
+	lex   *lexer.Lexer
+	tok   token.Token // current
+	ahead *token.Token
+	errs  ErrorList
+}
+
+// Parse parses a full program.
+func Parse(src []byte) (*ast.Program, error) {
+	p := &parser{lex: lexer.New(src)}
+	p.next()
+	prog := p.parseProgram()
+	for _, le := range p.lex.Errors() {
+		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	if len(p.errs) > 0 {
+		return prog, p.errs
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error. For tests and fixed fixtures.
+func MustParse(src string) *ast.Program {
+	prog, err := Parse([]byte(src))
+	if err != nil {
+		panic("parser.MustParse: " + err.Error())
+	}
+	return prog
+}
+
+func (p *parser) next() {
+	if p.ahead != nil {
+		p.tok = *p.ahead
+		p.ahead = nil
+		return
+	}
+	p.tok = p.lex.Next()
+}
+
+// peek returns the token after the current one without consuming anything.
+func (p *parser) peek() token.Token {
+	if p.ahead == nil {
+		t := p.lex.Next()
+		p.ahead = &t
+	}
+	return *p.ahead
+}
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) {
+	p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t)
+		// Do not consume: the caller's recovery loop handles skipping.
+		return token.Token{Kind: k, Pos: t.Pos}
+	}
+	p.next()
+	return t
+}
+
+func (p *parser) expectIdent() (string, token.Pos) {
+	t := p.tok
+	if t.Kind != token.IDENT {
+		p.errorf(t.Pos, "expected identifier, found %s", t)
+		p.skipTo(token.SEMI, token.RBRACE)
+		return "_error_", t.Pos
+	}
+	p.next()
+	return t.Lit, t.Pos
+}
+
+// skipTo advances until one of the kinds (or EOF) is current.
+func (p *parser) skipTo(kinds ...token.Kind) {
+	for p.tok.Kind != token.EOF {
+		for _, k := range kinds {
+			if p.tok.Kind == k {
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{}
+	for p.tok.Kind != token.EOF {
+		switch p.tok.Kind {
+		case token.KwType:
+			if td := p.parseTypeDecl(); td != nil {
+				prog.Types = append(prog.Types, td)
+			}
+		case token.KwVoid, token.KwFunc, token.KwInt:
+			if fd := p.parseFuncDecl(); fd != nil {
+				prog.Funcs = append(prog.Funcs, fd)
+			}
+		case token.SEMI:
+			p.next()
+		default:
+			p.errorf(p.tok.Pos, "expected declaration, found %s", p.tok)
+			p.next()
+			p.skipTo(token.KwType, token.KwVoid, token.KwFunc, token.KwInt)
+		}
+	}
+	return prog
+}
+
+func (p *parser) parseTypeDecl() *ast.TypeDecl {
+	p.expect(token.KwType)
+	name, pos := p.expectIdent()
+	td := &ast.TypeDecl{NamePos: pos, Name: name}
+
+	for p.tok.Kind == token.LBRACK {
+		p.next()
+		dim, _ := p.expectIdent()
+		p.expect(token.RBRACK)
+		td.Dims = append(td.Dims, dim)
+	}
+	if p.tok.Kind == token.KwWhere {
+		p.next()
+		for {
+			a, _ := p.expectIdent()
+			p.expect(token.OR)
+			b, _ := p.expectIdent()
+			td.Indep = append(td.Indep, [2]string{a, b})
+			if p.tok.Kind != token.COMMA {
+				break
+			}
+			p.next()
+		}
+	}
+	p.expect(token.LBRACE)
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		if fd := p.parseFieldDecl(); fd != nil {
+			td.Fields = append(td.Fields, fd)
+		}
+	}
+	p.expect(token.RBRACE)
+	if p.tok.Kind == token.SEMI {
+		p.next()
+	}
+	return td
+}
+
+func (p *parser) parseFieldDecl() *ast.FieldDecl {
+	pos := p.tok.Pos
+	fd := &ast.FieldDecl{FieldPos: pos}
+	switch p.tok.Kind {
+	case token.KwInt:
+		p.next()
+		fd.TypeName = "int"
+		for {
+			name, _ := p.expectIdent()
+			fd.Names = append(fd.Names, name)
+			if p.tok.Kind != token.COMMA {
+				break
+			}
+			p.next()
+		}
+	case token.IDENT:
+		fd.TypeName = p.tok.Lit
+		p.next()
+		fd.Pointer = true
+		for {
+			p.expect(token.STAR)
+			name, _ := p.expectIdent()
+			fd.Names = append(fd.Names, name)
+			if p.tok.Kind != token.COMMA {
+				break
+			}
+			p.next()
+		}
+		if p.tok.Kind == token.KwIs {
+			p.next()
+			fd.Dir = p.parseDirection()
+			if p.tok.Kind == token.KwAlong {
+				p.next()
+				fd.Dim, _ = p.expectIdent()
+			}
+		}
+	default:
+		p.errorf(pos, "expected field declaration, found %s", p.tok)
+		p.next()
+		p.skipTo(token.SEMI, token.RBRACE)
+		if p.tok.Kind == token.SEMI {
+			p.next()
+		}
+		return nil
+	}
+	p.expect(token.SEMI)
+	return fd
+}
+
+func (p *parser) parseDirection() ast.Direction {
+	switch p.tok.Kind {
+	case token.KwUniquely:
+		p.next()
+		p.expect(token.KwForward)
+		return ast.DirUniquelyForward
+	case token.KwForward:
+		p.next()
+		return ast.DirForward
+	case token.KwBackward:
+		p.next()
+		return ast.DirBackward
+	case token.KwUnknown:
+		p.next()
+		return ast.DirUnknown
+	case token.KwCircular:
+		p.next()
+		return ast.DirCircular
+	default:
+		p.errorf(p.tok.Pos, "expected direction, found %s", p.tok)
+		p.skipTo(token.SEMI, token.RBRACE)
+		return ast.DirUnknown
+	}
+}
+
+func (p *parser) parseFuncDecl() *ast.FuncDecl {
+	retInt := p.tok.Kind == token.KwInt
+	p.next() // void | func | int
+	name, pos := p.expectIdent()
+	fd := &ast.FuncDecl{NamePos: pos, Name: name, RetInt: retInt}
+	p.expect(token.LPAREN)
+	if p.tok.Kind != token.RPAREN {
+		for {
+			fd.Params = append(fd.Params, p.parseParam())
+			if p.tok.Kind != token.COMMA {
+				break
+			}
+			p.next()
+		}
+	}
+	p.expect(token.RPAREN)
+	fd.Body = p.parseBlock()
+	return fd
+}
+
+func (p *parser) parseParam() *ast.Param {
+	switch p.tok.Kind {
+	case token.KwInt:
+		p.next()
+		name, pos := p.expectIdent()
+		return &ast.Param{NamePos: pos, TypeName: "int", Name: name}
+	case token.IDENT:
+		tn := p.tok.Lit
+		p.next()
+		p.expect(token.STAR)
+		name, pos := p.expectIdent()
+		return &ast.Param{NamePos: pos, TypeName: tn, Pointer: true, Name: name}
+	default:
+		p.errorf(p.tok.Pos, "expected parameter, found %s", p.tok)
+		p.skipTo(token.COMMA, token.RPAREN)
+		return &ast.Param{NamePos: p.tok.Pos, TypeName: "int", Name: "_error_"}
+	}
+}
+
+func (p *parser) parseBlock() *ast.Block {
+	blk := &ast.Block{Lbrace: p.tok.Pos}
+	p.expect(token.LBRACE)
+	// Leading variable declarations: "int x, y;" or "T *p, *q;".
+	for {
+		if p.tok.Kind == token.KwInt && p.peek().Kind == token.IDENT {
+			pos := p.tok.Pos
+			p.next()
+			vd := &ast.VarDecl{DeclPos: pos, TypeName: "int"}
+			for {
+				name, _ := p.expectIdent()
+				vd.Names = append(vd.Names, name)
+				if p.tok.Kind != token.COMMA {
+					break
+				}
+				p.next()
+			}
+			p.expect(token.SEMI)
+			blk.Vars = append(blk.Vars, vd)
+			continue
+		}
+		if p.tok.Kind == token.IDENT && p.peek().Kind == token.STAR {
+			pos := p.tok.Pos
+			tn := p.tok.Lit
+			p.next()
+			vd := &ast.VarDecl{DeclPos: pos, TypeName: tn, Pointer: true}
+			for {
+				p.expect(token.STAR)
+				name, _ := p.expectIdent()
+				vd.Names = append(vd.Names, name)
+				if p.tok.Kind != token.COMMA {
+					break
+				}
+				p.next()
+			}
+			p.expect(token.SEMI)
+			blk.Vars = append(blk.Vars, vd)
+			continue
+		}
+		break
+	}
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		if s := p.parseStmt(); s != nil {
+			blk.Stmts = append(blk.Stmts, s)
+		}
+	}
+	p.expect(token.RBRACE)
+	return blk
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	switch p.tok.Kind {
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.KwWhile:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		body := p.parseStmt()
+		return &ast.WhileStmt{WhilePos: pos, Cond: cond, Body: body}
+	case token.KwIf:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		then := p.parseStmt()
+		var els ast.Stmt
+		if p.tok.Kind == token.KwElse {
+			p.next()
+			els = p.parseStmt()
+		}
+		return &ast.IfStmt{IfPos: pos, Cond: cond, Then: then, Else: els}
+	case token.KwFor:
+		return p.parseFor()
+	case token.KwReturn:
+		pos := p.tok.Pos
+		p.next()
+		var val ast.Expr
+		if p.tok.Kind != token.SEMI {
+			val = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		return &ast.ReturnStmt{RetPos: pos, Value: val}
+	case token.KwFree:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.LPAREN)
+		target := p.parsePath()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		return &ast.FreeStmt{FreePos: pos, Target: target}
+	case token.IDENT:
+		if p.peek().Kind == token.LPAREN {
+			call := p.parseCall()
+			p.expect(token.SEMI)
+			return &ast.CallStmt{Call: call}
+		}
+		lhs := p.parsePath()
+		p.expect(token.ASSIGN)
+		rhs := p.parseExpr()
+		p.expect(token.SEMI)
+		return &ast.AssignStmt{LHS: lhs, RHS: rhs}
+	case token.SEMI:
+		p.next()
+		return nil
+	default:
+		p.errorf(p.tok.Pos, "expected statement, found %s", p.tok)
+		p.next()
+		p.skipTo(token.SEMI, token.RBRACE)
+		if p.tok.Kind == token.SEMI {
+			p.next()
+		}
+		return nil
+	}
+}
+
+// parseFor desugars "for (init; cond; post) body" into
+// "{ init; while (cond) { body; post; } }". Any clause may be empty; an
+// empty condition means true.
+func (p *parser) parseFor() ast.Stmt {
+	pos := p.tok.Pos
+	p.next()
+	p.expect(token.LPAREN)
+
+	var init ast.Stmt
+	if p.tok.Kind != token.SEMI {
+		lhs := p.parsePath()
+		p.expect(token.ASSIGN)
+		init = &ast.AssignStmt{LHS: lhs, RHS: p.parseExpr()}
+	}
+	p.expect(token.SEMI)
+
+	var cond ast.Expr
+	if p.tok.Kind != token.SEMI {
+		cond = p.parseExpr()
+	} else {
+		cond = &ast.IntLit{LitPos: p.tok.Pos, Value: 1}
+	}
+	p.expect(token.SEMI)
+
+	var post ast.Stmt
+	if p.tok.Kind != token.RPAREN {
+		lhs := p.parsePath()
+		p.expect(token.ASSIGN)
+		post = &ast.AssignStmt{LHS: lhs, RHS: p.parseExpr()}
+	}
+	p.expect(token.RPAREN)
+
+	body := p.parseStmt()
+	inner := &ast.Block{Lbrace: pos, Stmts: []ast.Stmt{}}
+	if body != nil {
+		inner.Stmts = append(inner.Stmts, body)
+	}
+	if post != nil {
+		inner.Stmts = append(inner.Stmts, post)
+	}
+	loop := &ast.WhileStmt{WhilePos: pos, Cond: cond, Body: inner}
+	if init == nil {
+		return loop
+	}
+	return &ast.Block{Lbrace: pos, Stmts: []ast.Stmt{init, loop}}
+}
+
+func (p *parser) parsePath() *ast.Path {
+	name, pos := p.expectIdent()
+	path := &ast.Path{VarPos: pos, Var: name}
+	for p.tok.Kind == token.ARROW || p.tok.Kind == token.DOT {
+		p.next()
+		f, _ := p.expectIdent()
+		path.Fields = append(path.Fields, f)
+	}
+	return path
+}
+
+func (p *parser) parseCall() *ast.CallExpr {
+	name, pos := p.expectIdent()
+	call := &ast.CallExpr{NamePos: pos, Name: name}
+	p.expect(token.LPAREN)
+	if p.tok.Kind != token.RPAREN {
+		for {
+			call.Args = append(call.Args, p.parseExpr())
+			if p.tok.Kind != token.COMMA {
+				break
+			}
+			p.next()
+		}
+	}
+	p.expect(token.RPAREN)
+	return call
+}
+
+// Expression parsing, precedence climbing.
+
+func (p *parser) parseExpr() ast.Expr { return p.parseOr() }
+
+func (p *parser) parseOr() ast.Expr {
+	x := p.parseAnd()
+	for p.tok.Kind == token.OR {
+		p.next()
+		y := p.parseAnd()
+		x = &ast.BinExpr{Op: token.OR, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) parseAnd() ast.Expr {
+	x := p.parseCmp()
+	for p.tok.Kind == token.AND {
+		p.next()
+		y := p.parseCmp()
+		x = &ast.BinExpr{Op: token.AND, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) parseCmp() ast.Expr {
+	x := p.parseAdd()
+	for p.tok.Kind.IsComparison() {
+		op := p.tok.Kind
+		p.next()
+		y := p.parseAdd()
+		x = &ast.BinExpr{Op: op, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) parseAdd() ast.Expr {
+	x := p.parseMul()
+	for p.tok.Kind == token.PLUS || p.tok.Kind == token.MINUS {
+		op := p.tok.Kind
+		p.next()
+		y := p.parseMul()
+		x = &ast.BinExpr{Op: op, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) parseMul() ast.Expr {
+	x := p.parseUnary()
+	for p.tok.Kind == token.STAR || p.tok.Kind == token.SLASH || p.tok.Kind == token.PCT {
+		op := p.tok.Kind
+		p.next()
+		y := p.parseUnary()
+		x = &ast.BinExpr{Op: op, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch p.tok.Kind {
+	case token.MINUS, token.NOT:
+		pos := p.tok.Pos
+		op := p.tok.Kind
+		p.next()
+		return &ast.UnExpr{OpPos: pos, Op: op, X: p.parseUnary()}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	switch p.tok.Kind {
+	case token.INT:
+		var v int64
+		for _, c := range p.tok.Lit {
+			v = v*10 + int64(c-'0')
+		}
+		e := &ast.IntLit{LitPos: p.tok.Pos, Value: v}
+		p.next()
+		return e
+	case token.KwNull:
+		e := &ast.NullLit{LitPos: p.tok.Pos}
+		p.next()
+		return e
+	case token.KwNew:
+		pos := p.tok.Pos
+		p.next()
+		tn, _ := p.expectIdent()
+		return &ast.NewExpr{NewPos: pos, TypeName: tn}
+	case token.LPAREN:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+	case token.IDENT:
+		if p.peek().Kind == token.LPAREN {
+			return p.parseCall()
+		}
+		return p.parsePath()
+	default:
+		p.errorf(p.tok.Pos, "expected expression, found %s", p.tok)
+		pos := p.tok.Pos
+		p.next()
+		return &ast.IntLit{LitPos: pos}
+	}
+}

@@ -1,0 +1,419 @@
+// Package types implements the static semantics of mini: name resolution and
+// type checking. Checking a program yields an Info table mapping every
+// function to its variable types, which later phases (normalization, IR
+// building, analysis) rely on instead of re-deriving types.
+package types
+
+import (
+	"fmt"
+
+	"repro/internal/shape"
+	"repro/internal/source/ast"
+	"repro/internal/source/token"
+)
+
+// Kind classifies a mini type.
+type Kind int
+
+// Type kinds. KindInvalid marks expressions whose type could not be
+// determined; errors are reported once at the point of failure and
+// KindInvalid silences cascades.
+const (
+	KindInvalid Kind = iota
+	KindInt
+	KindPointer
+	KindVoid
+)
+
+// Type is a mini type: int, void, or pointer-to-record.
+type Type struct {
+	Kind   Kind
+	Record string // record type name when Kind == KindPointer
+}
+
+// Int, Void and Invalid are the singleton non-pointer types.
+var (
+	Int     = Type{Kind: KindInt}
+	Void    = Type{Kind: KindVoid}
+	Invalid = Type{Kind: KindInvalid}
+)
+
+// PointerTo returns the pointer type for a record name.
+func PointerTo(record string) Type { return Type{Kind: KindPointer, Record: record} }
+
+// String renders the type.
+func (t Type) String() string {
+	switch t.Kind {
+	case KindInt:
+		return "int"
+	case KindPointer:
+		return t.Record + "*"
+	case KindVoid:
+		return "void"
+	}
+	return "invalid"
+}
+
+// Equal reports type identity.
+func (t Type) Equal(o Type) bool { return t.Kind == o.Kind && t.Record == o.Record }
+
+// Error is a semantic error at a position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// FuncInfo holds the checked symbol table of one function.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Vars map[string]Type // parameters and locals
+}
+
+// PointerVars returns the names of all pointer-typed variables, in a stable
+// order (parameters first, then locals, declaration order).
+func (fi *FuncInfo) PointerVars() []string {
+	var out []string
+	add := func(name string) {
+		if fi.Vars[name].Kind == KindPointer {
+			out = append(out, name)
+		}
+	}
+	for _, p := range fi.Decl.Params {
+		add(p.Name)
+	}
+	for _, vd := range fi.Decl.Body.Vars {
+		for _, n := range vd.Names {
+			add(n)
+		}
+	}
+	return out
+}
+
+// Info is the result of checking a program.
+type Info struct {
+	Prog  *ast.Program
+	Env   *shape.Env
+	Funcs map[string]*FuncInfo
+}
+
+// Func returns the info for a function name, or nil.
+func (in *Info) Func(name string) *FuncInfo { return in.Funcs[name] }
+
+// checker carries state during checking.
+type checker struct {
+	prog *ast.Program
+	env  *shape.Env
+	errs []*Error
+	fn   *FuncInfo
+}
+
+// Check builds the shape environment, resolves names and types, and returns
+// the info table. Shape well-formedness problems are reported as errors at
+// the type declaration's position.
+func Check(prog *ast.Program) (*Info, []*Error) {
+	env, probs := shape.Build(prog)
+	c := &checker{prog: prog, env: env}
+	for _, p := range probs {
+		pos := token.Pos{}
+		if td := prog.TypeByName(p.Type); td != nil {
+			pos = td.NamePos
+		}
+		c.errorf(pos, "%s", p.Error())
+	}
+
+	info := &Info{Prog: prog, Env: env, Funcs: map[string]*FuncInfo{}}
+	for _, fd := range prog.Funcs {
+		if _, dup := info.Funcs[fd.Name]; dup {
+			c.errorf(fd.NamePos, "function %s redeclared", fd.Name)
+			continue
+		}
+		info.Funcs[fd.Name] = c.checkFunc(fd)
+	}
+	// Resolve calls after all signatures are known.
+	for _, fd := range prog.Funcs {
+		c.fn = info.Funcs[fd.Name]
+		if c.fn != nil {
+			c.checkCalls(fd.Body, info)
+		}
+	}
+	return info, c.errs
+}
+
+// MustCheck checks and panics on error. For fixtures and tests.
+func MustCheck(prog *ast.Program) *Info {
+	info, errs := Check(prog)
+	if len(errs) > 0 {
+		panic("types.MustCheck: " + errs[0].Error())
+	}
+	return info
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) resolveTypeName(pos token.Pos, name string, pointer bool) Type {
+	if name == "int" {
+		if pointer {
+			c.errorf(pos, "pointers to int are not supported")
+			return Invalid
+		}
+		return Int
+	}
+	if c.env.Type(name) == nil {
+		c.errorf(pos, "undeclared type %s", name)
+		return Invalid
+	}
+	if !pointer {
+		c.errorf(pos, "record type %s must be used through a pointer", name)
+		return Invalid
+	}
+	return PointerTo(name)
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) *FuncInfo {
+	fi := &FuncInfo{Decl: fd, Vars: map[string]Type{}}
+	c.fn = fi
+	for _, p := range fd.Params {
+		if _, dup := fi.Vars[p.Name]; dup {
+			c.errorf(p.NamePos, "parameter %s redeclared", p.Name)
+			continue
+		}
+		fi.Vars[p.Name] = c.resolveTypeName(p.NamePos, p.TypeName, p.Pointer)
+	}
+	for _, vd := range fd.Body.Vars {
+		for _, n := range vd.Names {
+			if _, dup := fi.Vars[n]; dup {
+				c.errorf(vd.DeclPos, "variable %s redeclared", n)
+				continue
+			}
+			fi.Vars[n] = c.resolveTypeName(vd.DeclPos, vd.TypeName, vd.Pointer)
+		}
+	}
+	c.checkBlock(fd.Body)
+	return fi
+}
+
+func (c *checker) checkBlock(blk *ast.Block) {
+	for _, s := range blk.Stmts {
+		c.checkStmt(s)
+	}
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		c.checkBlock(s)
+	case *ast.AssignStmt:
+		lt := c.checkPath(s.LHS)
+		rt := c.checkExpr(s.RHS)
+		c.checkAssignable(s.LHS.Pos(), lt, rt, s.RHS)
+	case *ast.WhileStmt:
+		c.requireInt(s.Cond)
+		c.checkStmt(s.Body)
+	case *ast.IfStmt:
+		c.requireInt(s.Cond)
+		c.checkStmt(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *ast.ReturnStmt:
+		if s.Value != nil {
+			vt := c.checkExpr(s.Value)
+			if c.fn.Decl.RetInt && vt.Kind != KindInt && vt.Kind != KindInvalid {
+				c.errorf(s.RetPos, "function %s returns int, got %s", c.fn.Decl.Name, vt)
+			}
+			if !c.fn.Decl.RetInt && vt.Kind != KindInvalid {
+				c.errorf(s.RetPos, "void function %s returns a value", c.fn.Decl.Name)
+			}
+		}
+	case *ast.CallStmt:
+		c.checkExpr(s.Call)
+	case *ast.FreeStmt:
+		t := c.checkPath(s.Target)
+		if t.Kind != KindPointer && t.Kind != KindInvalid {
+			c.errorf(s.FreePos, "free requires a pointer, got %s", t)
+		}
+	}
+}
+
+// checkAssignable verifies lt = rt is legal. NULL assigns to any pointer.
+func (c *checker) checkAssignable(pos token.Pos, lt, rt Type, rhs ast.Expr) {
+	if lt.Kind == KindInvalid || rt.Kind == KindInvalid {
+		return
+	}
+	if _, isNull := rhs.(*ast.NullLit); isNull {
+		if lt.Kind != KindPointer {
+			c.errorf(pos, "cannot assign NULL to %s", lt)
+		}
+		return
+	}
+	if !lt.Equal(rt) {
+		c.errorf(pos, "cannot assign %s to %s", rt, lt)
+	}
+}
+
+func (c *checker) requireInt(e ast.Expr) {
+	t := c.checkExpr(e)
+	if t.Kind != KindInt && t.Kind != KindInvalid {
+		c.errorf(e.Pos(), "condition must be int, got %s", t)
+	}
+}
+
+// checkPath types a variable-with-fields path: p, p->f, p->f->g.
+func (c *checker) checkPath(p *ast.Path) Type {
+	t, ok := c.fn.Vars[p.Var]
+	if !ok {
+		c.errorf(p.VarPos, "undeclared variable %s", p.Var)
+		return Invalid
+	}
+	for i, f := range p.Fields {
+		if t.Kind == KindInvalid {
+			return Invalid
+		}
+		if t.Kind != KindPointer {
+			c.errorf(p.VarPos, "%s is not a pointer (dereference %d of %s)",
+				t, i+1, p.Var)
+			return Invalid
+		}
+		rt := c.env.Type(t.Record)
+		if rt == nil {
+			return Invalid
+		}
+		if rt.HasIntField(f) {
+			t = Int
+		} else if pf := rt.Field(f); pf != nil {
+			t = PointerTo(pf.Target)
+		} else {
+			c.errorf(p.VarPos, "type %s has no field %s", t.Record, f)
+			return Invalid
+		}
+	}
+	return t
+}
+
+func (c *checker) checkExpr(e ast.Expr) Type {
+	switch e := e.(type) {
+	case *ast.Path:
+		return c.checkPath(e)
+	case *ast.IntLit:
+		return Int
+	case *ast.NullLit:
+		// NULL adopts the pointer type of its context; callers special-case it.
+		return Type{Kind: KindPointer}
+	case *ast.NewExpr:
+		if c.env.Type(e.TypeName) == nil {
+			c.errorf(e.NewPos, "new of undeclared type %s", e.TypeName)
+			return Invalid
+		}
+		return PointerTo(e.TypeName)
+	case *ast.UnExpr:
+		xt := c.checkExpr(e.X)
+		if xt.Kind != KindInt && xt.Kind != KindInvalid {
+			c.errorf(e.OpPos, "unary %s requires int, got %s", e.Op, xt)
+			return Invalid
+		}
+		return Int
+	case *ast.BinExpr:
+		return c.checkBin(e)
+	case *ast.CallExpr:
+		// Signature checking happens in checkCalls; here we only type it.
+		fd := c.prog.FuncByName(e.Name)
+		if fd == nil {
+			c.errorf(e.NamePos, "call to undeclared function %s", e.Name)
+			return Invalid
+		}
+		for _, a := range e.Args {
+			c.checkExpr(a)
+		}
+		if fd.RetInt {
+			return Int
+		}
+		return Void
+	}
+	return Invalid
+}
+
+func (c *checker) checkBin(e *ast.BinExpr) Type {
+	xt := c.checkExpr(e.X)
+	yt := c.checkExpr(e.Y)
+	if xt.Kind == KindInvalid || yt.Kind == KindInvalid {
+		return Invalid
+	}
+	switch e.Op {
+	case token.EQ, token.NEQ:
+		// Pointers compare against pointers of the same type or NULL.
+		_, xNull := e.X.(*ast.NullLit)
+		_, yNull := e.Y.(*ast.NullLit)
+		if xt.Kind == KindPointer || yt.Kind == KindPointer {
+			ok := xNull || yNull ||
+				(xt.Kind == KindPointer && yt.Kind == KindPointer && xt.Record == yt.Record)
+			if !ok {
+				c.errorf(e.X.Pos(), "cannot compare %s with %s", xt, yt)
+			}
+			return Int
+		}
+		if xt.Kind != KindInt || yt.Kind != KindInt {
+			c.errorf(e.X.Pos(), "cannot compare %s with %s", xt, yt)
+		}
+		return Int
+	case token.LT, token.GT, token.LE, token.GE,
+		token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PCT,
+		token.AND, token.OR:
+		if xt.Kind != KindInt || yt.Kind != KindInt {
+			c.errorf(e.X.Pos(), "operator %s requires int operands, got %s and %s",
+				e.Op, xt, yt)
+			return Invalid
+		}
+		return Int
+	}
+	c.errorf(e.X.Pos(), "unsupported operator %s", e.Op)
+	return Invalid
+}
+
+// checkCalls verifies call-site arity and argument types once all
+// signatures are known.
+func (c *checker) checkCalls(blk *ast.Block, info *Info) {
+	for _, s := range blk.Stmts {
+		ast.WalkExprs(s, func(e ast.Expr) {
+			call, ok := e.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			fd := c.prog.FuncByName(call.Name)
+			if fd == nil {
+				return // already reported
+			}
+			if len(call.Args) != len(fd.Params) {
+				c.errorf(call.NamePos, "call to %s has %d arguments, want %d",
+					call.Name, len(call.Args), len(fd.Params))
+				return
+			}
+			for i, a := range call.Args {
+				at := c.checkExprQuiet(a)
+				p := fd.Params[i]
+				want := Int
+				if p.Pointer {
+					want = PointerTo(p.TypeName)
+				}
+				if _, isNull := a.(*ast.NullLit); isNull && want.Kind == KindPointer {
+					continue
+				}
+				if at.Kind != KindInvalid && !at.Equal(want) {
+					c.errorf(a.Pos(), "argument %d of %s: got %s, want %s",
+						i+1, call.Name, at, want)
+				}
+			}
+		})
+	}
+}
+
+// checkExprQuiet types an expression without emitting duplicate errors.
+func (c *checker) checkExprQuiet(e ast.Expr) Type {
+	saved := c.errs
+	t := c.checkExpr(e)
+	c.errs = saved
+	return t
+}

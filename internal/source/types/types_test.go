@@ -1,0 +1,216 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/source/parser"
+)
+
+const listDecl = `
+type List [X] {
+    int data;
+    List *next is uniquely forward along X;
+};
+`
+
+func check(t *testing.T, src string) (*Info, []*Error) {
+	t.Helper()
+	prog, err := parser.Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func wantErr(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, errs := check(t, src)
+	if len(errs) == 0 {
+		t.Fatalf("want error containing %q, got none", fragment)
+	}
+	for _, e := range errs {
+		if strings.Contains(e.Msg, fragment) {
+			return
+		}
+	}
+	t.Fatalf("no error contains %q; first: %v", fragment, errs[0])
+}
+
+func TestOKProgram(t *testing.T) {
+	info, errs := check(t, listDecl+`
+void walk(List *hd) {
+    List *p;
+    int sum;
+    sum = 0;
+    p = hd;
+    while (p != NULL) {
+        sum = sum + p->data;
+        p = p->next;
+    }
+}
+`)
+	if len(errs) > 0 {
+		t.Fatalf("unexpected: %v", errs[0])
+	}
+	fi := info.Func("walk")
+	if fi == nil {
+		t.Fatal("walk missing")
+	}
+	if got := fi.Vars["p"]; !got.Equal(PointerTo("List")) {
+		t.Errorf("p : %s", got)
+	}
+	if got := fi.Vars["sum"]; !got.Equal(Int) {
+		t.Errorf("sum : %s", got)
+	}
+	pv := fi.PointerVars()
+	if len(pv) != 2 || pv[0] != "hd" || pv[1] != "p" {
+		t.Errorf("PointerVars = %v", pv)
+	}
+}
+
+func TestUndeclaredVariable(t *testing.T) {
+	wantErr(t, listDecl+`void f() { q = NULL; }`, "undeclared variable q")
+}
+
+func TestUndeclaredField(t *testing.T) {
+	wantErr(t, listDecl+`void f(List *p) { p = p->prev; }`, "no field prev")
+}
+
+func TestDerefNonPointer(t *testing.T) {
+	wantErr(t, listDecl+`void f(List *p) { int x; x = p->data->data; }`, "not a pointer")
+}
+
+func TestAssignIntToPointer(t *testing.T) {
+	wantErr(t, listDecl+`void f(List *p) { p = 3; }`, "cannot assign")
+}
+
+func TestAssignPointerToInt(t *testing.T) {
+	wantErr(t, listDecl+`void f(List *p) { int x; x = p; }`, "cannot assign")
+}
+
+func TestNullToPointerOK(t *testing.T) {
+	_, errs := check(t, listDecl+`void f(List *p) { p = NULL; p->next = NULL; }`)
+	if len(errs) > 0 {
+		t.Fatalf("unexpected: %v", errs[0])
+	}
+}
+
+func TestNullToIntBad(t *testing.T) {
+	wantErr(t, listDecl+`void f() { int x; x = NULL; }`, "cannot assign NULL")
+}
+
+func TestPointerComparisonOK(t *testing.T) {
+	_, errs := check(t, listDecl+`
+void f(List *p, List *q) {
+    if (p == q) { p = NULL; }
+    while (p != NULL) { p = p->next; }
+}`)
+	if len(errs) > 0 {
+		t.Fatalf("unexpected: %v", errs[0])
+	}
+}
+
+func TestMixedTypePointerComparison(t *testing.T) {
+	src := listDecl + `
+type Tree [d] {
+    Tree *kid is forward along d;
+};
+void f(List *p, Tree *t) { if (p == t) { p = NULL; } }
+`
+	wantErr(t, src, "cannot compare")
+}
+
+func TestPointerArithmeticBad(t *testing.T) {
+	wantErr(t, listDecl+`void f(List *p, List *q) { int x; x = p + q; }`, "requires int")
+}
+
+func TestConditionMustBeInt(t *testing.T) {
+	wantErr(t, listDecl+`void f(List *p) { while (p) { p = p->next; } }`, "condition must be int")
+}
+
+func TestNewUndeclaredType(t *testing.T) {
+	wantErr(t, listDecl+`void f() { List *p; p = new Nothing; }`, "undeclared type Nothing")
+}
+
+func TestNewOK(t *testing.T) {
+	_, errs := check(t, listDecl+`void f() { List *p; p = new List; p->data = 1; }`)
+	if len(errs) > 0 {
+		t.Fatalf("unexpected: %v", errs[0])
+	}
+}
+
+func TestCallArityAndTypes(t *testing.T) {
+	src := listDecl + `
+void callee(List *p, int n) { n = n; }
+void caller(List *q) { callee(q, 3); callee(q); }
+`
+	wantErr(t, src, "has 1 arguments, want 2")
+}
+
+func TestCallArgTypeMismatch(t *testing.T) {
+	src := listDecl + `
+void callee(int n) { n = n; }
+void caller(List *q) { callee(q); }
+`
+	wantErr(t, src, "got List*, want int")
+}
+
+func TestCallNullArgOK(t *testing.T) {
+	src := listDecl + `
+void callee(List *p) { p = NULL; }
+void caller() { callee(NULL); }
+`
+	_, errs := check(t, src)
+	if len(errs) > 0 {
+		t.Fatalf("unexpected: %v", errs[0])
+	}
+}
+
+func TestUndeclaredFunction(t *testing.T) {
+	wantErr(t, `void f() { g(); }`, "undeclared function g")
+}
+
+func TestReturnTypeChecks(t *testing.T) {
+	wantErr(t, `int f() { return; }
+void g() { return 3; }`, "void function g returns a value")
+}
+
+func TestRedeclaredVariable(t *testing.T) {
+	wantErr(t, listDecl+`void f() { int x; int x; x = 1; }`, "variable x redeclared")
+}
+
+func TestRedeclaredFunction(t *testing.T) {
+	wantErr(t, `void f() { } void f() { }`, "function f redeclared")
+}
+
+func TestShapeProblemSurfaces(t *testing.T) {
+	wantErr(t, `
+type Bad [X] {
+    Bad *prev is backward along X;
+};
+void f() { }`, "Def 4.5")
+}
+
+func TestFreeChecksPointer(t *testing.T) {
+	wantErr(t, listDecl+`void f() { int x; x = 1; free(x); }`, "free requires a pointer")
+}
+
+func TestRecordByValueRejected(t *testing.T) {
+	// The grammar itself forbids record-by-value parameters.
+	_, err := parser.Parse([]byte(listDecl + `void f(List p) { }`))
+	if err == nil {
+		t.Fatal("want parse error for record-by-value parameter")
+	}
+}
+
+func TestMultiDerefPath(t *testing.T) {
+	_, errs := check(t, listDecl+`
+void f(List *p) {
+    int x;
+    x = p->next->next->data;
+}`)
+	if len(errs) > 0 {
+		t.Fatalf("unexpected: %v", errs[0])
+	}
+}

@@ -1,0 +1,128 @@
+package xform
+
+import (
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Compact packs a linear IR program into VLIW bundles block by block
+// (no software pipelining): within each straight-line block, independent
+// operations share a cycle, respecting register dependences under the
+// machine's read-before-write semantics and keeping memory operations on
+// the same field ordered. This is the paper's baseline "fine-grain
+// parallelism without crossing iterations" against which pipelining is
+// compared at small widths.
+func Compact(p *ir.Program, width int) *machine.VLIWProgram {
+	out := machine.NewVLIWProgram(width)
+	var block []*ir.Instr
+	flush := func() {
+		if len(block) == 0 {
+			return
+		}
+		for _, b := range scheduleBlock(block, width) {
+			out.MustAdd(b)
+		}
+		block = nil
+	}
+	for _, in := range p.Instrs {
+		switch in.Op {
+		case ir.Label:
+			flush()
+			out.Mark(in.Name)
+		case ir.Br, ir.Goto, ir.Ret:
+			block = append(block, in)
+			flush()
+		case ir.Nop:
+		default:
+			block = append(block, in)
+		}
+	}
+	flush()
+	return out
+}
+
+// scheduleBlock list-schedules one straight-line block.
+func scheduleBlock(block []*ir.Instr, width int) []machine.Bundle {
+	n := len(block)
+	cycle := make([]int, n)
+	used := map[int]int{} // cycle -> ops scheduled
+
+	// depDelta returns whether instruction i depends on earlier j and the
+	// minimum cycle distance: 1 for value flow and ordered writes (reads
+	// see pre-cycle values), 0 for anti dependences (same cycle is fine —
+	// reads happen before writes commit).
+	depDelta := func(j, i int) (bool, int) {
+		a, b := block[j], block[i]
+		dep, delta := false, 0
+		if d := a.Defs(); d != "" {
+			for _, u := range b.Uses() {
+				if u == d {
+					return true, 1
+				}
+			}
+			if b.Defs() == d {
+				return true, 1
+			}
+		}
+		for _, u := range a.Uses() {
+			if b.Defs() == u {
+				dep = true // anti
+			}
+		}
+		if a.IsMem() && b.IsMem() && a.Field == b.Field &&
+			(a.Op == ir.Store || b.Op == ir.Store) {
+			if a.Op == ir.Store {
+				return true, 1 // store then load/store: order visible
+			}
+			dep = true // load then store: same cycle is fine
+		}
+		return dep, delta
+	}
+
+	for i := range block {
+		earliest := 0
+		for j := 0; j < i; j++ {
+			if dep, delta := depDelta(j, i); dep {
+				if c := cycle[j] + delta; c > earliest {
+					earliest = c
+				}
+			}
+		}
+		for used[earliest] >= width {
+			earliest++
+		}
+		cycle[i] = earliest
+		used[earliest]++
+	}
+
+	max := 0
+	for _, c := range cycle {
+		if c > max {
+			max = c
+		}
+	}
+	// A trailing control transfer must sit in the final bundle: later
+	// bundles would never execute.
+	if last := block[n-1]; last.Op == ir.Br || last.Op == ir.Goto || last.Op == ir.Ret {
+		if cycle[n-1] != max {
+			used[cycle[n-1]]--
+			if used[max] >= width {
+				max++
+			}
+			cycle[n-1] = max
+			used[max]++
+		}
+	}
+	bundles := make([]machine.Bundle, max+1)
+	for i, in := range block {
+		bundles[cycle[i]] = append(bundles[cycle[i]], in.Clone())
+	}
+	// Drop empty bundles (possible when width pushes ops past gaps).
+	var out []machine.Bundle
+	for _, b := range bundles {
+		if len(b) > 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}

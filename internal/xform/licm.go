@@ -1,0 +1,132 @@
+// Package xform implements the transformations of Section 5.2 and [HG92]:
+// loop-invariant code motion, the renaming + speculative-hoist sequence that
+// breaks the pointer-advance recurrence, software pipelining of list
+// traversal loops for a VLIW target, per-iteration VLIW compaction, and
+// loop unrolling for scalar machines. All transformations are
+// legality-checked against a dependence graph built with a caller-chosen
+// alias oracle, so the same code demonstrates both the paper's enabled
+// transformations (under ADDS + GPM) and their rejection under conservative
+// analysis.
+package xform
+
+import (
+	"repro/internal/depgraph"
+	"repro/internal/ir"
+)
+
+// cloneProgram deep-copies a program so transformations never mutate their
+// input.
+func cloneProgram(p *ir.Program) *ir.Program {
+	out := &ir.Program{Name: p.Name, Params: append([]string(nil), p.Params...)}
+	for _, in := range p.Instrs {
+		out.Instrs = append(out.Instrs, in.Clone())
+	}
+	for _, l := range p.Loops {
+		c := *l
+		out.Loops = append(out.Loops, &c)
+	}
+	return out
+}
+
+// insertAt inserts instructions at pos and fixes loop metadata. Inserting
+// exactly at a region's start places the new instructions inside that
+// region (its start does not shift; its end does).
+func insertAt(p *ir.Program, pos int, ins ...*ir.Instr) {
+	p.Instrs = append(p.Instrs[:pos], append(append([]*ir.Instr{}, ins...), p.Instrs[pos:]...)...)
+	n := len(ins)
+	for _, l := range p.Loops {
+		if l.TestStart > pos {
+			l.TestStart += n
+		}
+		if l.BodyStart > pos {
+			l.BodyStart += n
+		}
+		if l.BodyEnd >= pos {
+			l.BodyEnd += n
+		}
+	}
+}
+
+// removeAt removes the instruction at pos and fixes loop metadata.
+func removeAt(p *ir.Program, pos int) *ir.Instr {
+	in := p.Instrs[pos]
+	p.Instrs = append(p.Instrs[:pos], p.Instrs[pos+1:]...)
+	for _, l := range p.Loops {
+		if l.TestStart > pos {
+			l.TestStart--
+		}
+		if l.BodyStart > pos {
+			l.BodyStart--
+		}
+		if l.BodyEnd > pos {
+			l.BodyEnd--
+		}
+	}
+	return in
+}
+
+// LICM hoists loop-invariant loads out of the loop into the preheader (the
+// paper's motion of "load hd->x, R2" above the loop). A load is hoisted
+// when its base register is never redefined in the loop, its destination
+// has no other definition in the loop, and the dependence graph shows no
+// memory dependence between the load and any store in the loop (so the
+// loaded location is never written — the aliasing question the paper's
+// analysis answers). The hoisted load executes even when the loop does not,
+// which is safe under the speculative-traversability assumption of
+// Section 3.2.
+//
+// It returns the transformed program, the refreshed loop metadata, and the
+// hoisted instructions.
+func LICM(p *ir.Program, l *ir.LoopInfo, opt depgraph.Options) (*ir.Program, *ir.LoopInfo, []*ir.Instr) {
+	out := cloneProgram(p)
+	loop := out.Loops[l.SrcID]
+	dg := depgraph.Build(out, loop, opt)
+
+	region := func() []*ir.Instr { return out.Instrs[loop.TestStart : loop.BodyEnd+1] }
+
+	defCount := func(reg string) int {
+		n := 0
+		for _, in := range region() {
+			if in.Defs() == reg {
+				n++
+			}
+		}
+		return n
+	}
+
+	var hoisted []*ir.Instr
+	for {
+		moved := false
+		for bi, in := range region() {
+			if in.Op != ir.Load {
+				continue
+			}
+			if defCount(in.Src1) != 0 || defCount(in.Dst) != 1 {
+				continue
+			}
+			conflict := false
+			for _, e := range dg.Edges {
+				if e.Mem && (e.From == bi || e.To == bi) {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			// Hoist: remove from the body, insert before the head label.
+			abs := loop.TestStart + bi
+			instr := removeAt(out, abs)
+			headIdx := out.FindLabel(loop.HeadLabel)
+			insertAt(out, headIdx, instr)
+			hoisted = append(hoisted, instr)
+			dg = depgraph.Build(out, loop, opt)
+			moved = true
+			break
+		}
+		if !moved {
+			break
+		}
+	}
+	return out, loop, hoisted
+}
