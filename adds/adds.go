@@ -15,6 +15,7 @@
 package adds
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/alias"
@@ -146,6 +147,28 @@ func (u *Unit) Analyze(fn string) (*Analysis, error) {
 	}, nil
 }
 
+// AnalyzeAll analyzes every function of the unit with a bounded worker pool
+// (workers <= 0 means one per CPU). The result map is independent of worker
+// count and scheduling; cancelling ctx abandons the remaining functions and
+// returns ctx's error.
+func (u *Unit) AnalyzeAll(ctx context.Context, workers int) (map[string]*Analysis, error) {
+	frs, err := pathmatrix.AnalyzeProgramCtx(ctx, u.Info, u.Info.Env, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Analysis, len(frs))
+	for name, fr := range frs {
+		out[name] = &Analysis{
+			Unit:  u,
+			Fn:    fr.Info,
+			Graph: fr.Graph,
+			GPM:   fr.Result,
+			prog:  ir.Build(fr.Info, u.Info.Env),
+		}
+	}
+	return out, nil
+}
+
 // MustAnalyze panics on error.
 func (u *Unit) MustAnalyze(fn string) *Analysis {
 	a, err := u.Analyze(fn)
@@ -260,6 +283,13 @@ func RunVLIW(p *VLIWProgram, heap *Heap, args map[string]Word) (*machine.Result,
 // Sequentialize turns linear IR into one-op bundles (the unpipelined VLIW
 // baseline).
 func Sequentialize(p *IRProgram) *VLIWProgram { return machine.Sequentialize(p) }
+
+// ExperimentDef names one experiment without running it.
+type ExperimentDef = exper.Def
+
+// ExperimentDefs returns the experiment registry (ids and titles) without
+// running anything.
+func ExperimentDefs() []ExperimentDef { return exper.Defs() }
 
 // Experiments regenerates every table and figure of the paper's evaluation
 // (the experiment index in DESIGN.md).

@@ -6,11 +6,15 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/adds"
 	"repro/internal/alias"
+	"repro/internal/core/pathmatrix"
 	"repro/internal/depgraph"
 	"repro/internal/exper"
 	"repro/internal/interp"
@@ -227,3 +231,74 @@ func BenchmarkE10VLIW(b *testing.B) {
 
 // newRand gives each benchmark a deterministic generator.
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// manyFuncsSrc generates a program with n distinct two-loop functions, the
+// whole-program workload for the serial-vs-parallel engine benchmarks.
+func manyFuncsSrc(n int) string {
+	var b strings.Builder
+	b.WriteString(exper.TwoWayDecl)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `
+void work%d(TwoWayLL *hd, TwoWayLL *q) {
+    TwoWayLL *p;
+    p = hd->next;
+    while (p != NULL) {
+        p->data = p->data - hd->data;
+        p = p->next;
+    }
+    p = q;
+    while (p != NULL) {
+        p->data = 0;
+        p = p->prev;
+    }
+}
+`, i)
+	}
+	return b.String()
+}
+
+func benchAnalyzeProgram(b *testing.B, workers int) {
+	info := types.MustCheck(parser.MustParse(manyFuncsSrc(8)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := pathmatrix.AnalyzeProgramCtx(context.Background(), info, info.Env, workers)
+		if err != nil || len(out) != 8 {
+			b.Fatalf("analyzed %d functions, err %v", len(out), err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeProgramSerial analyzes an 8-function program on one worker.
+func BenchmarkAnalyzeProgramSerial(b *testing.B) { benchAnalyzeProgram(b, 1) }
+
+// BenchmarkAnalyzeProgramParallel analyzes the same program with one worker
+// per CPU. With GOMAXPROCS >= 4 this should run well over 2x faster than
+// BenchmarkAnalyzeProgramSerial (per-function analyses are independent).
+func BenchmarkAnalyzeProgramParallel(b *testing.B) { benchAnalyzeProgram(b, 0) }
+
+// BenchmarkAnalyzeShift compares the path-matrix engine with and without
+// hash-consing: the interned mode memoizes path renderings and shares
+// canonical slices, and should allocate far less per analysis.
+func BenchmarkAnalyzeShift(b *testing.B) {
+	info := types.MustCheck(parser.MustParse(exper.ShiftSrc))
+	fi := info.Func("shift")
+	for _, mode := range []struct {
+		name   string
+		intern bool
+	}{{"interned", true}, {"naive", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			old := pathmatrix.Interning
+			pathmatrix.Interning = mode.intern
+			defer func() { pathmatrix.Interning = old }()
+			g := norm.Build(fi, info.Env)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if r := pathmatrix.Analyze(g, info.Env); r == nil {
+					b.Fatal("nil result")
+				}
+			}
+		})
+	}
+}

@@ -7,44 +7,133 @@
 //
 //	addsbench            # run every experiment
 //	addsbench E4 E6      # run selected experiments
+//	addsbench -par 4     # run experiments concurrently (same output)
 //	addsbench -list      # list experiment ids and titles
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime/pprof"
+	"strings"
+	"sync"
 
 	"repro/adds"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list experiments without running them")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command, factored out so tests can drive it in-process.
+// Internal panics are reported as a single line instead of a stack trace.
+func run(args []string, stdout, stderr io.Writer) (status int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "addsbench: internal error: %v\n", r)
+			status = 1
+		}
+	}()
+
+	fs := flag.NewFlagSet("addsbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list experiments without running them")
+	par := fs.Int("par", 1, "experiment worker count (0 = one per CPU)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		for _, r := range adds.Experiments() {
-			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+		for _, d := range adds.ExperimentDefs() {
+			fmt.Fprintf(stdout, "%-4s %s\n", d.ID, d.Title)
 		}
-		return
+		return 0
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "addsbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "addsbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
 
-	ids := flag.Args()
-	if len(ids) == 0 {
-		for _, r := range adds.Experiments() {
-			fmt.Println(r.Format())
-		}
-		return
+	// Resolve the requested ids (all of them when none are named) against the
+	// registry before running anything.
+	defs := adds.ExperimentDefs()
+	byID := map[string]adds.ExperimentDef{}
+	for _, d := range defs {
+		byID[strings.ToUpper(d.ID)] = d
 	}
-	status := 0
-	for _, id := range ids {
-		r := adds.Experiment(id)
-		if r == nil {
-			fmt.Fprintf(os.Stderr, "addsbench: unknown experiment %q (try -list)\n", id)
-			status = 1
-			continue
+	toRun := defs
+	if ids := fs.Args(); len(ids) > 0 {
+		toRun = nil
+		for _, id := range ids {
+			d, ok := byID[strings.ToUpper(id)]
+			if !ok {
+				fmt.Fprintf(stderr, "addsbench: unknown experiment %q (try -list)\n", id)
+				status = 1
+				continue
+			}
+			toRun = append(toRun, d)
 		}
-		fmt.Println(r.Format())
 	}
-	os.Exit(status)
+
+	// Run experiments with a bounded worker pool, buffering each report so
+	// output order matches request order regardless of worker scheduling.
+	workers := *par
+	if workers <= 0 {
+		workers = len(toRun)
+	}
+	if workers > len(toRun) {
+		workers = len(toRun)
+	}
+	outputs := make([]string, len(toRun))
+	if workers <= 1 {
+		for i, d := range toRun {
+			outputs[i] = d.Run().Format()
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		panics := make([]any, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panics[w] = r
+						for range next { // keep the feeder unblocked
+						}
+					}
+				}()
+				for i := range next {
+					outputs[i] = toRun[i].Run().Format()
+				}
+			}(w)
+		}
+		for i := range toRun {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		for _, p := range panics {
+			if p != nil {
+				panic(p) // surface on the caller, where run's recover formats it
+			}
+		}
+	}
+	for _, out := range outputs {
+		fmt.Fprintln(stdout, out)
+	}
+	return status
 }

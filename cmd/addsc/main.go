@@ -9,97 +9,160 @@
 //	addsc -fn shift -show pipeline -width 8 prog.mini
 //	addsc -fn shift -oracle conservative -show deps prog.mini
 //	addsc -show check prog.mini          # parse + type-check only
+//	addsc -par 4 -show matrix prog.mini  # analyze functions in parallel
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"repro/adds"
 )
 
 func main() {
-	fn := flag.String("fn", "", "function to analyze (default: every function)")
-	show := flag.String("show", "matrix", "comma-separated: check,ir,matrix,iter,deps,dot,validate,pipeline,unroll")
-	oracleName := flag.String("oracle", "gpm", "alias oracle: gpm, classic, conservative, klimit")
-	k := flag.Int("k", 2, "k for the k-limited oracle")
-	width := flag.Int("width", 8, "VLIW width for -show pipeline")
-	unroll := flag.Int("unroll", 3, "factor for -show unroll")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: addsc [flags] file.mini")
-		flag.Usage()
-		os.Exit(2)
+// run is the whole command, factored out so tests can drive it in-process.
+// Internal panics (analysis bugs, not user errors) are reported as a single
+// line instead of a stack trace.
+func run(args []string, stdout, stderr io.Writer) (status int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "addsc: internal error: %v\n", r)
+			status = 1
+		}
+	}()
+
+	fs := flag.NewFlagSet("addsc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fn := fs.String("fn", "", "function to analyze (default: every function)")
+	show := fs.String("show", "matrix", "comma-separated: check,ir,matrix,iter,deps,dot,validate,pipeline,unroll")
+	oracleName := fs.String("oracle", "gpm", "alias oracle: gpm, classic, conservative, klimit")
+	k := fs.Int("k", 2, "k for the k-limited oracle")
+	width := fs.Int("width", 8, "VLIW width for -show pipeline")
+	unroll := fs.Int("unroll", 3, "factor for -show unroll")
+	par := fs.Int("par", 0, "analysis worker count (0 = one per CPU, 1 = serial)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: addsc [flags] file.mini")
+		fs.Usage()
+		return 2
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "addsc:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "addsc:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "addsc:", err)
+		return 1
 	}
 	unit, err := adds.Load(src)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "addsc:", err)
+		return 1
 	}
 
+	known := map[string]bool{
+		"check": true, "ir": true, "matrix": true, "iter": true, "deps": true,
+		"dot": true, "validate": true, "pipeline": true, "unroll": true,
+	}
 	wants := map[string]bool{}
 	for _, s := range strings.Split(*show, ",") {
-		wants[strings.TrimSpace(s)] = true
+		s = strings.TrimSpace(s)
+		if !known[s] {
+			fmt.Fprintf(stderr, "addsc: unknown -show item %q (known: check,ir,matrix,iter,deps,dot,validate,pipeline,unroll)\n", s)
+			return 1
+		}
+		wants[s] = true
 	}
 	if wants["check"] && len(wants) == 1 {
-		fmt.Println("ok")
-		return
+		fmt.Fprintln(stdout, "ok")
+		return 0
 	}
 
+	// Analyze up front — all functions in parallel, or just the requested
+	// one — then print in source order so output is deterministic.
 	var fns []string
+	analyses := map[string]*adds.Analysis{}
 	if *fn != "" {
+		an, err := unit.Analyze(*fn)
+		if err != nil {
+			fmt.Fprintln(stderr, "addsc:", err)
+			return 1
+		}
 		fns = []string{*fn}
+		analyses[*fn] = an
 	} else {
+		analyses, err = unit.AnalyzeAll(context.Background(), *par)
+		if err != nil {
+			fmt.Fprintln(stderr, "addsc:", err)
+			return 1
+		}
 		for _, fd := range unit.Prog.Funcs {
 			fns = append(fns, fd.Name)
 		}
 	}
 
 	for _, name := range fns {
-		an, err := unit.Analyze(name)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("=== function %s ===\n", name)
+		an := analyses[name]
+		fmt.Fprintf(stdout, "=== function %s ===\n", name)
 
-		oracle := pickOracle(an, *oracleName, *k)
+		oracle, err := pickOracle(an, *oracleName, *k)
+		if err != nil {
+			fmt.Fprintln(stderr, "addsc:", err)
+			return 1
+		}
 
 		if wants["ir"] {
-			fmt.Println("pseudo-assembly:")
-			fmt.Println(an.IR().String())
+			fmt.Fprintln(stdout, "pseudo-assembly:")
+			fmt.Fprintln(stdout, an.IR().String())
 		}
 		if wants["validate"] {
-			fmt.Println("abstraction validation (Section 5.1.1):")
-			fmt.Print(an.Validation().Report())
+			fmt.Fprintln(stdout, "abstraction validation (Section 5.1.1):")
+			fmt.Fprint(stdout, an.Validation().Report())
 		}
 		if wants["matrix"] {
-			fmt.Println("path matrix at exit:")
-			fmt.Println(an.ExitMatrix().String())
+			fmt.Fprintln(stdout, "path matrix at exit:")
+			fmt.Fprintln(stdout, an.ExitMatrix().String())
 			for i := 0; i < an.Loops(); i++ {
-				fmt.Printf("path matrix at loop %d fixed point:\n", i)
-				fmt.Println(an.LoopMatrix(i).String())
+				fmt.Fprintf(stdout, "path matrix at loop %d fixed point:\n", i)
+				fmt.Fprintln(stdout, an.LoopMatrix(i).String())
 			}
 		}
 		if wants["iter"] {
 			for i := 0; i < an.Loops(); i++ {
-				fmt.Printf("iteration (primed) matrix for loop %d:\n", i)
-				fmt.Println(an.IterationMatrix(i).String())
+				fmt.Fprintf(stdout, "iteration (primed) matrix for loop %d:\n", i)
+				fmt.Fprintln(stdout, an.IterationMatrix(i).String())
 			}
 		}
 		if wants["deps"] || wants["dot"] {
 			for i := 0; i < an.Loops(); i++ {
 				dg := an.Dependences(i, oracle)
 				if wants["deps"] {
-					fmt.Println(dg.String())
+					fmt.Fprintln(stdout, dg.String())
 				}
 				if wants["dot"] {
-					fmt.Println(dg.DOT())
+					fmt.Fprintln(stdout, dg.DOT())
 				}
 			}
 		}
@@ -107,44 +170,39 @@ func main() {
 			for i := 0; i < an.Loops(); i++ {
 				prog, info, err := an.Pipeline(i, *width)
 				if err != nil {
-					fmt.Printf("loop %d: not pipelined: %v\n", i, err)
+					fmt.Fprintf(stdout, "loop %d: not pipelined: %v\n", i, err)
 					continue
 				}
-				fmt.Printf("loop %d pipelined (II=%d, theoretical speedup %.1f):\n",
+				fmt.Fprintf(stdout, "loop %d pipelined (II=%d, theoretical speedup %.1f):\n",
 					i, info.II, info.Theoretic)
-				fmt.Println(prog.String())
+				fmt.Fprintln(stdout, prog.String())
 			}
 		}
 		if wants["unroll"] {
 			for i := 0; i < an.Loops(); i++ {
 				u, err := an.Unroll(i, *unroll)
 				if err != nil {
-					fmt.Printf("loop %d: not unrolled: %v\n", i, err)
+					fmt.Fprintf(stdout, "loop %d: not unrolled: %v\n", i, err)
 					continue
 				}
-				fmt.Printf("loop %d unrolled %dx:\n", i, *unroll)
-				fmt.Println(u.String())
+				fmt.Fprintf(stdout, "loop %d unrolled %dx:\n", i, *unroll)
+				fmt.Fprintln(stdout, u.String())
 			}
 		}
 	}
+	return 0
 }
 
-func pickOracle(an *adds.Analysis, name string, k int) adds.Oracle {
+func pickOracle(an *adds.Analysis, name string, k int) (adds.Oracle, error) {
 	switch name {
 	case "gpm":
-		return an.GPMOracle()
+		return an.GPMOracle(), nil
 	case "classic":
-		return an.ClassicOracle()
+		return an.ClassicOracle(), nil
 	case "conservative":
-		return an.ConservativeOracle()
+		return an.ConservativeOracle(), nil
 	case "klimit":
-		return an.KLimitedOracle(k)
+		return an.KLimitedOracle(k), nil
 	}
-	fatal(fmt.Errorf("unknown oracle %q", name))
-	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "addsc:", err)
-	os.Exit(1)
+	return nil, fmt.Errorf("unknown oracle %q", name)
 }

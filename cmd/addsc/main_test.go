@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCmd drives run() in-process and returns (status, stdout, stderr).
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	status := run(args, &out, &errb)
+	return status, out.String(), errb.String()
+}
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "prog.mini")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// assertOneLineError: failures must be a single diagnostic line, never a
+// panic stack trace.
+func assertOneLineError(t *testing.T, status int, stderr string) {
+	t.Helper()
+	if status == 0 {
+		t.Fatalf("status = 0, want non-zero (stderr %q)", stderr)
+	}
+	if strings.Contains(stderr, "goroutine") || strings.Contains(stderr, "panic:") {
+		t.Fatalf("stderr looks like a stack trace:\n%s", stderr)
+	}
+	if n := strings.Count(strings.TrimRight(stderr, "\n"), "\n"); n != 0 {
+		t.Fatalf("stderr has %d extra lines:\n%s", n, stderr)
+	}
+}
+
+func TestUnparseableInput(t *testing.T) {
+	p := writeTemp(t, "this is } not { mini ;;; %%%")
+	status, _, stderr := runCmd(t, "-show", "check", p)
+	assertOneLineError(t, status, stderr)
+	if !strings.HasPrefix(stderr, "addsc:") {
+		t.Errorf("stderr not prefixed with the command name: %q", stderr)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	status, _, stderr := runCmd(t, "-show", "check", filepath.Join(t.TempDir(), "nope.mini"))
+	assertOneLineError(t, status, stderr)
+}
+
+func TestUnknownFunction(t *testing.T) {
+	p := writeTemp(t, "void f() { return; }")
+	status, _, stderr := runCmd(t, "-fn", "nope", p)
+	assertOneLineError(t, status, stderr)
+}
+
+func TestUnknownOracle(t *testing.T) {
+	p := writeTemp(t, "void f() { return; }")
+	status, _, stderr := runCmd(t, "-oracle", "psychic", p)
+	assertOneLineError(t, status, stderr)
+}
+
+func TestUnknownShowItem(t *testing.T) {
+	p := writeTemp(t, "void f() { return; }")
+	status, _, stderr := runCmd(t, "-show", "bogus", p)
+	assertOneLineError(t, status, stderr)
+	if !strings.Contains(stderr, `"bogus"`) {
+		t.Errorf("stderr does not name the bad item: %q", stderr)
+	}
+}
+
+func TestUsage(t *testing.T) {
+	if status, _, _ := runCmd(t); status != 2 {
+		t.Errorf("no-args status = %d, want 2", status)
+	}
+}
+
+func TestTestdataPrograms(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.mini"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs: %v", err)
+	}
+	for _, f := range files {
+		status, out, stderr := runCmd(t, "-show", "matrix,iter,validate", f)
+		if status != 0 {
+			t.Errorf("%s: status %d, stderr %q", f, status, stderr)
+		}
+		if !strings.Contains(out, "=== function") {
+			t.Errorf("%s: output missing function header", f)
+		}
+	}
+}
+
+// TestParallelMatchesSerial: -par must not change the output.
+func TestParallelMatchesSerial(t *testing.T) {
+	f := filepath.Join("..", "..", "testdata", "listops.mini")
+	_, serial, _ := runCmd(t, "-par", "1", "-show", "matrix,iter", f)
+	_, parallel, _ := runCmd(t, "-par", "8", "-show", "matrix,iter", f)
+	if serial != parallel {
+		t.Errorf("-par 8 output differs from -par 1:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+func TestCPUProfileFlag(t *testing.T) {
+	p := writeTemp(t, "void f() { return; }")
+	prof := filepath.Join(t.TempDir(), "cpu.prof")
+	status, _, stderr := runCmd(t, "-cpuprofile", prof, "-show", "check", p)
+	if status != 0 {
+		t.Fatalf("status %d, stderr %q", status, stderr)
+	}
+	if st, err := os.Stat(prof); err != nil || st.Size() == 0 {
+		t.Errorf("profile not written: %v", err)
+	}
+}

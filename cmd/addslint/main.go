@@ -16,59 +16,76 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/adds"
 )
 
 func main() {
-	entry := flag.String("entry", "main", "entry function to interpret")
-	n := flag.Int64("n", 10, "value for a single int parameter, if the entry takes one")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: addslint [flags] file.mini")
-		os.Exit(2)
+// run is the whole command, factored out so tests can drive it in-process.
+// Internal panics are reported as a single line instead of a stack trace.
+func run(args []string, stdout, stderr io.Writer) (status int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "addslint: internal error: %v\n", r)
+			status = 1
+		}
+	}()
+
+	fs := flag.NewFlagSet("addslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	entry := fs.String("entry", "main", "entry function to interpret")
+	n := fs.Int64("n", 10, "value for a single int parameter, if the entry takes one")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: addslint [flags] file.mini")
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "addslint:", err)
+		return 1
+	}
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	unit, err := adds.Load(src)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	fd := unit.Prog.FuncByName(*entry)
 	if fd == nil {
-		fatal(fmt.Errorf("entry function %q not found", *entry))
+		return fail(fmt.Errorf("entry function %q not found", *entry))
 	}
 
 	in := unit.Interp()
-	var args []adds.Value
+	var callArgs []adds.Value
 	switch {
 	case len(fd.Params) == 0:
 	case len(fd.Params) == 1 && !fd.Params[0].Pointer:
-		args = append(args, adds.IntVal(*n))
+		callArgs = append(callArgs, adds.IntVal(*n))
 	default:
-		fatal(fmt.Errorf("entry %q must take no parameters or one int", *entry))
+		return fail(fmt.Errorf("entry %q must take no parameters or one int", *entry))
 	}
-	if _, err := in.Call(*entry, args...); err != nil {
-		fatal(fmt.Errorf("execution failed: %w", err))
+	if _, err := in.Call(*entry, callArgs...); err != nil {
+		return fail(fmt.Errorf("execution failed: %w", err))
 	}
 
 	roots := in.Heap.Live()
 	violations := unit.CheckHeap(roots...)
 	if len(violations) == 0 {
-		fmt.Printf("ok: %d nodes allocated, all declarations hold\n", in.Heap.Size())
-		return
+		fmt.Fprintf(stdout, "ok: %d nodes allocated, all declarations hold\n", in.Heap.Size())
+		return 0
 	}
 	for _, v := range violations {
-		fmt.Println(v.String())
+		fmt.Fprintln(stdout, v.String())
 	}
-	os.Exit(1)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "addslint:", err)
-	os.Exit(1)
+	return 1
 }

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	status := run(args, &out, &errb)
+	return status, out.String(), errb.String()
+}
+
+func assertOneLineError(t *testing.T, status int, stderr string) {
+	t.Helper()
+	if status == 0 {
+		t.Fatalf("status = 0, want non-zero (stderr %q)", stderr)
+	}
+	if strings.Contains(stderr, "goroutine") || strings.Contains(stderr, "panic:") {
+		t.Fatalf("stderr looks like a stack trace:\n%s", stderr)
+	}
+	if n := strings.Count(strings.TrimRight(stderr, "\n"), "\n"); n != 0 {
+		t.Fatalf("stderr has %d extra lines:\n%s", n, stderr)
+	}
+}
+
+func TestUnparseableInput(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "garbage.mini")
+	if err := os.WriteFile(p, []byte("%%% { unparseable"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	status, _, stderr := runCmd(t, p)
+	assertOneLineError(t, status, stderr)
+	if !strings.HasPrefix(stderr, "addslint:") {
+		t.Errorf("stderr not prefixed with the command name: %q", stderr)
+	}
+}
+
+func TestMissingEntry(t *testing.T) {
+	// matrixops.mini deliberately has no main.
+	f := filepath.Join("..", "..", "testdata", "matrixops.mini")
+	status, _, stderr := runCmd(t, f)
+	assertOneLineError(t, status, stderr)
+	if !strings.Contains(stderr, "not found") {
+		t.Errorf("stderr = %q, want an entry-not-found message", stderr)
+	}
+}
+
+func TestCleanPrograms(t *testing.T) {
+	for _, name := range []string{"listops.mini", "treeops.mini"} {
+		f := filepath.Join("..", "..", "testdata", name)
+		status, out, stderr := runCmd(t, f)
+		if status != 0 {
+			t.Errorf("%s: status %d, stderr %q", name, status, stderr)
+		}
+		if !strings.HasPrefix(out, "ok:") {
+			t.Errorf("%s: output %q, want ok line", name, out)
+		}
+	}
+}
+
+func TestUsage(t *testing.T) {
+	if status, _, _ := runCmd(t); status != 2 {
+		t.Errorf("no-args status = %d, want 2", status)
+	}
+}

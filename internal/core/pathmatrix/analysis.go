@@ -1,7 +1,12 @@
 package pathmatrix
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/norm"
 	"repro/internal/shape"
@@ -21,6 +26,10 @@ type Result struct {
 // maxIterations bounds the fixed-point computation; the bounded domain
 // converges long before this, but a safety valve beats an infinite loop.
 const maxIterations = 100000
+
+// ctxCheckMask controls how often the fixed-point loop polls the context:
+// every (ctxCheckMask+1) iterations. Must be a power of two minus one.
+const ctxCheckMask = 63
 
 // nodeVisitBudget bounds how often one CFG node is reprocessed before its
 // state is forcibly widened to the fully conservative matrix. Pathological
@@ -56,9 +65,10 @@ func widenedIterationMatrix(g *norm.Graph) *Matrix {
 			out.addRel(p+Shadow, q+Shadow, Rel{Kind: RelTop})
 		}
 	}
-	for v := range m.viols {
-		out.viols[v] = true
+	for _, v := range m.Violations() {
+		out.addViolation(v)
 	}
+	m.release()
 	return out
 }
 
@@ -86,6 +96,21 @@ func widenedMatrix(g *norm.Graph) *Matrix {
 // is the ADDS shape environment; pass env.Stripped() to model the classic,
 // annotation-free analysis.
 func Analyze(g *norm.Graph, env *shape.Env) *Result {
+	res, err := AnalyzeCtx(context.Background(), g, env)
+	if err != nil {
+		// Background contexts never expire; this is unreachable.
+		panic("pathmatrix: " + err.Error())
+	}
+	return res
+}
+
+// AnalyzeCtx is Analyze with cancellation: the fixed-point loop polls ctx
+// periodically and abandons the run with ctx's error when it is done. The
+// partial result is discarded — analysis state is not resumable.
+func AnalyzeCtx(ctx context.Context, g *norm.Graph, env *shape.Env) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res := &Result{
 		Graph:  g,
 		Env:    env,
@@ -99,10 +124,16 @@ func Analyze(g *norm.Graph, env *shape.Env) *Result {
 	initParams(init, g)
 
 	// Edge states: for each node, the state flowing out along each
-	// successor edge (branches refine differently per edge).
+	// successor edge (branches refine differently per edge). The per-node
+	// slices are carved from one backing array.
+	totalSuccs := 0
+	for _, n := range g.Nodes {
+		totalSuccs += len(n.Succs)
+	}
 	edgeOut := make([][]*Matrix, len(g.Nodes))
+	edgeBuf := make([]*Matrix, totalSuccs)
 	for i, n := range g.Nodes {
-		edgeOut[i] = make([]*Matrix, len(n.Succs))
+		edgeOut[i], edgeBuf = edgeBuf[:len(n.Succs):len(n.Succs)], edgeBuf[len(n.Succs):]
 	}
 
 	inState := func(n *norm.Node) *Matrix {
@@ -122,7 +153,9 @@ func Analyze(g *norm.Graph, env *shape.Env) *Result {
 				if acc == nil {
 					acc = st.Clone()
 				} else {
-					acc = Join(acc, st)
+					joined := Join(acc, st)
+					acc.release()
+					acc = joined
 				}
 			}
 		}
@@ -132,17 +165,33 @@ func Analyze(g *norm.Graph, env *shape.Env) *Result {
 		return acc
 	}
 
-	work := []*norm.Node{g.Entry}
-	inWork := map[int]bool{g.Entry.ID: true}
+	// The FIFO worklist is a slice drained by index and compacted in place
+	// once the drained prefix dominates, so steady-state processing appends
+	// into existing capacity instead of reallocating.
+	work := make([]*norm.Node, 1, 4*len(g.Nodes)+64)
+	work[0] = g.Entry
+	head := 0
+	inWork := make([]bool, len(g.Nodes))
+	inWork[g.Entry.ID] = true
 	visits := make([]int, len(g.Nodes))
 	var widened *Matrix
+	var dead []*Matrix
 	iter := 0
-	for len(work) > 0 {
+	for head < len(work) {
 		if iter++; iter > maxIterations {
 			panic("pathmatrix: fixed point not reached")
 		}
-		n := work[0]
-		work = work[1:]
+		if iter&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if head > 32 && head*2 >= len(work) {
+			n := copy(work, work[head:])
+			work, head = work[:n], 0
+		}
+		n := work[head]
+		head++
 		inWork[n.ID] = false
 
 		var before, after *Matrix
@@ -161,6 +210,11 @@ func Analyze(g *norm.Graph, env *shape.Env) *Result {
 		res.Before[n.ID] = before
 		res.After[n.ID] = after
 
+		// Matrices superseded on this node's out-edges. Their only remaining
+		// references (this node's edgeOut slots and the res slots overwritten
+		// above) are gone once the loop below finishes, so they can be
+		// recycled — except the shared widened matrix and the current after.
+		dead = dead[:0]
 		for si, succ := range n.Succs {
 			out := after
 			if n.Kind == norm.NodeBranch && visits[n.ID] <= nodeVisitBudget {
@@ -168,16 +222,38 @@ func Analyze(g *norm.Graph, env *shape.Env) *Result {
 			}
 			old := edgeOut[n.ID][si]
 			if old != nil && old.Equal(out) {
+				if out != after && out != widened {
+					out.release() // freshly refined, discarded, unreferenced
+				}
 				continue
 			}
 			edgeOut[n.ID][si] = out
+			if old != nil && old != after && old != widened {
+				dead = append(dead, old)
+			}
 			if !inWork[succ.ID] {
 				work = append(work, succ)
 				inWork[succ.ID] = true
 			}
 		}
+		for i, d := range dead {
+			still := false
+			for _, e := range edgeOut[n.ID] {
+				if e == d {
+					still = true
+				}
+			}
+			for _, e := range dead[:i] {
+				if e == d {
+					still = true // duplicate edge state, released already
+				}
+			}
+			if !still {
+				d.release()
+			}
+		}
 	}
-	return res
+	return res, nil
 }
 
 // initParams seeds the entry matrix: pointer parameters of the same record
@@ -319,10 +395,10 @@ func (r *Result) IterationMatrix(l *norm.Loop) *Matrix {
 	}
 	m := NewMatrix(vars)
 	for k, e := range base.cells {
-		m.cells[k] = e.clone()
+		m.set(k[0], k[1], e.clone())
 	}
-	for v := range base.viols {
-		m.viols[v] = true
+	for _, v := range base.Violations() {
+		m.addViolation(v)
 	}
 	for _, v := range base.vars {
 		sh := v + Shadow
@@ -336,6 +412,9 @@ func (r *Result) IterationMatrix(l *norm.Loop) *Matrix {
 	// keep their iteration-start values. States flowing along back edges
 	// into the loop head are joined to form the result.
 	bodyEntry := l.Branch.Succs[0]
+	// A fresh transferer: r.trans carries per-goroutine scratch state, and
+	// IterationMatrix may be called concurrently on one Result.
+	trans := &transferer{env: r.Env}
 	states := map[int]*Matrix{bodyEntry.ID: m}
 	edgeOut := map[int][]*Matrix{}
 	work := []*norm.Node{bodyEntry}
@@ -370,7 +449,9 @@ func (r *Result) IterationMatrix(l *norm.Loop) *Matrix {
 					if before == nil {
 						before = edgeOut[p.ID][si].Clone()
 					} else {
-						before = Join(before, edgeOut[p.ID][si])
+						joined := Join(before, edgeOut[p.ID][si])
+						before.release()
+						before = joined
 					}
 				}
 			}
@@ -387,7 +468,7 @@ func (r *Result) IterationMatrix(l *norm.Loop) *Matrix {
 		} else {
 			after = before.Clone()
 			if n.Kind == norm.NodeStmt {
-				r.trans.apply(after, n.Stmt)
+				trans.apply(after, n.Stmt)
 			}
 		}
 		if edgeOut[n.ID] == nil {
@@ -403,7 +484,9 @@ func (r *Result) IterationMatrix(l *norm.Loop) *Matrix {
 				if result == nil {
 					result = out.Clone()
 				} else {
-					result = Join(result, out)
+					joined := Join(result, out)
+					result.release()
+					result = joined
 				}
 				continue
 			}
@@ -434,14 +517,109 @@ type FuncResult struct {
 	Result *Result
 }
 
-// AnalyzeProgram runs the analysis over every function of a checked program.
+// AnalyzeProgram runs the analysis over every function of a checked program,
+// using one worker per available CPU. The result is independent of worker
+// count and scheduling (per-function analysis is deterministic).
 func AnalyzeProgram(info *types.Info, env *shape.Env) map[string]*FuncResult {
-	out := map[string]*FuncResult{}
-	for name, fi := range info.Funcs {
-		g := norm.Build(fi, info.Env)
-		out[name] = &FuncResult{Info: fi, Graph: g, Result: Analyze(g, env)}
+	out, err := AnalyzeProgramCtx(context.Background(), info, env, 0)
+	if err != nil {
+		// Background contexts never expire; this is unreachable.
+		panic("pathmatrix: " + err.Error())
 	}
 	return out
+}
+
+// AnalyzeProgramCtx analyzes every function of a checked program with a
+// bounded worker pool. workers <= 0 means GOMAXPROCS. Cancelling ctx stops
+// the remaining work and returns ctx's error.
+func AnalyzeProgramCtx(ctx context.Context, info *types.Info, env *shape.Env, workers int) (map[string]*FuncResult, error) {
+	names := make([]string, 0, len(info.Funcs))
+	for name := range info.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+
+	analyzeOne := func(name string) (*FuncResult, error) {
+		fi := info.Funcs[name]
+		g := norm.Build(fi, info.Env)
+		r, err := AnalyzeCtx(ctx, g, env)
+		if err != nil {
+			return nil, err
+		}
+		return &FuncResult{Info: fi, Graph: g, Result: r}, nil
+	}
+
+	out := make(map[string]*FuncResult, len(names))
+	if workers <= 1 {
+		for _, name := range names {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			fr, err := analyzeOne(name)
+			if err != nil {
+				return nil, err
+			}
+			out[name] = fr
+		}
+		return out, nil
+	}
+
+	// Results are slotted by position in the sorted name list, so the output
+	// map is identical regardless of which worker analyzed which function.
+	results := make([]*FuncResult, len(names))
+	errs := make([]error, workers)
+	panics := make([]any, workers)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[w] = r
+				}
+			}()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(names) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				fr, err := analyzeOne(names[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				results[i] = fr
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p) // surface worker panics on the calling goroutine
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, name := range names {
+		out[name] = results[i]
+	}
+	return out, nil
 }
 
 // String renders a short summary of the result (entry and exit matrices).

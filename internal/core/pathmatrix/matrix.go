@@ -4,57 +4,196 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Matrix is a path matrix at one program point: relations between every
 // ordered pair of live pointer variables, plus the set of currently
 // outstanding abstraction violations. Alias relations (RelAlias, RelTop) are
 // stored symmetrically in both cells; path relations are directional.
+//
+// Matrices are copy-on-write: Clone is O(1) and shares the cell and
+// violation maps with the original. The first structural write after a
+// Clone copies the shared map shallowly (entries still shared), and an
+// individual Entry is cloned only when it is about to be mutated. All
+// mutation therefore goes through set/addRel/addViolation/deleteViolation,
+// which maintain the sharing flags and the per-entry ownership marks.
 type Matrix struct {
 	vars  []string // display order
 	cells map[[2]string]Entry
 	viols map[Violation]bool
+
+	sharedCells bool // cells map may be referenced by another matrix
+	sharedViols bool // viols map may be referenced by another matrix
+	// owned marks entries this matrix created after the last map copy and
+	// may therefore mutate in place. nil means no entry is owned.
+	owned map[[2]string]bool
+}
+
+// matrixPool recycles Matrix headers, and cellsPool their cell maps, across
+// the millions of intermediate states a fixed-point run creates. Only
+// provably private objects are ever returned (see release). matrixPool has
+// no New: a miss falls through to slab allocation.
+var (
+	matrixPool = sync.Pool{}
+	cellsPool  = sync.Pool{New: func() any { return make(map[[2]string]Entry, 8) }}
+	ownedPool  = sync.Pool{New: func() any { return make(map[[2]string]bool, 8) }}
+)
+
+// recycleOwned returns the matrix's ownership map to the pool. Safe whenever
+// the matrix is about to drop its mutation rights: the owned map is never
+// shared between matrices.
+func (m *Matrix) recycleOwned() {
+	if m.owned != nil {
+		clear(m.owned)
+		ownedPool.Put(m.owned)
+		m.owned = nil
+	}
+}
+
+// matrixSlab batch-allocates Matrix headers. Most headers stay live inside a
+// returned Result and can never be recycled, so allocating them one by one
+// makes every Clone an allocation; carving them from slabs amortizes that to
+// one allocation per slabSize clones.
+type matrixSlab struct {
+	buf  []Matrix
+	next int
+}
+
+const slabSize = 64
+
+var slabPool = sync.Pool{New: func() any { return &matrixSlab{buf: make([]Matrix, slabSize)} }}
+
+// getMatrix returns a zeroed Matrix header: a recycled one when available,
+// otherwise the next header from a slab.
+func getMatrix() *Matrix {
+	if v := matrixPool.Get(); v != nil {
+		return v.(*Matrix)
+	}
+	s := slabPool.Get().(*matrixSlab)
+	if s.next >= len(s.buf) {
+		s = &matrixSlab{buf: make([]Matrix, slabSize)}
+	}
+	m := &s.buf[s.next]
+	s.next++
+	slabPool.Put(s)
+	return m
+}
+
+// newMatrix builds a pooled matrix sharing the caller's vars slice (vars are
+// never mutated, so sharing is safe package-internally).
+func newMatrix(vars []string) *Matrix {
+	m := getMatrix()
+	m.vars = vars
+	m.cells = cellsPool.Get().(map[[2]string]Entry)
+	m.viols = nil // lazily allocated on the first violation
+	m.sharedCells, m.sharedViols = false, false
+	m.owned = nil
+	return m
 }
 
 // NewMatrix returns an empty matrix over the variables.
 func NewMatrix(vars []string) *Matrix {
-	return &Matrix{
-		vars:  append([]string(nil), vars...),
-		cells: map[[2]string]Entry{},
-		viols: map[Violation]bool{},
+	return newMatrix(append([]string(nil), vars...))
+}
+
+// release returns the matrix header — and its cells map, when not shared —
+// to the pools. The caller must guarantee no other reference to the header
+// exists. Entries are never recycled: they may be shared with live clones.
+func (m *Matrix) release() {
+	if m == nil {
+		return
 	}
+	if !m.sharedCells && m.cells != nil {
+		clear(m.cells)
+		cellsPool.Put(m.cells)
+	}
+	m.recycleOwned()
+	*m = Matrix{}
+	matrixPool.Put(m)
 }
 
 // Vars returns the variables, in display order.
 func (m *Matrix) Vars() []string { return m.vars }
 
-// Clone returns a deep copy.
+// Clone returns a logically deep copy in O(1): both matrices drop in-place
+// mutation rights and copy on their next write.
 func (m *Matrix) Clone() *Matrix {
-	out := &Matrix{
-		vars:  m.vars,
-		cells: make(map[[2]string]Entry, len(m.cells)),
-		viols: make(map[Violation]bool, len(m.viols)),
-	}
-	for k, v := range m.cells {
-		out.cells[k] = v.clone()
-	}
-	for k := range m.viols {
-		out.viols[k] = true
+	m.sharedCells, m.sharedViols = true, true
+	m.recycleOwned()
+	out := getMatrix()
+	*out = Matrix{
+		vars:        m.vars,
+		cells:       m.cells,
+		viols:       m.viols,
+		sharedCells: true,
+		sharedViols: true,
 	}
 	return out
 }
 
-// Entry returns PM(p, q); nil means no relation.
+// ensureCells makes the cells map private (entries remain shared).
+func (m *Matrix) ensureCells() {
+	if !m.sharedCells {
+		return
+	}
+	nc := cellsPool.Get().(map[[2]string]Entry)
+	for k, v := range m.cells {
+		nc[k] = v
+	}
+	m.cells = nc
+	m.sharedCells = false
+	m.owned = nil
+}
+
+// ensureViols makes the violations map private and non-nil.
+func (m *Matrix) ensureViols() {
+	if !m.sharedViols {
+		if m.viols == nil {
+			m.viols = map[Violation]bool{}
+		}
+		return
+	}
+	nv := make(map[Violation]bool, len(m.viols))
+	for v := range m.viols {
+		nv[v] = true
+	}
+	m.viols = nv
+	m.sharedViols = false
+}
+
+// Entry returns PM(p, q); nil means no relation. The returned entry must be
+// treated as read-only; use mutableEntry to derive a writable one.
 func (m *Matrix) Entry(p, q string) Entry { return m.cells[[2]string{p, q}] }
 
-// set replaces PM(p, q).
+// mutableEntry returns an entry for PM(p, q) that the caller may mutate and
+// hand back to set: the stored entry when owned, a clone otherwise.
+func (m *Matrix) mutableEntry(p, q string) Entry {
+	k := [2]string{p, q}
+	e := m.cells[k]
+	if e == nil || (m.owned != nil && m.owned[k]) {
+		return e
+	}
+	return e.clone()
+}
+
+// set replaces PM(p, q). The entry must be exclusively owned by the caller
+// (freshly built or obtained from mutableEntry); set records that ownership.
 func (m *Matrix) set(p, q string, e Entry) {
+	m.ensureCells()
 	k := [2]string{p, q}
 	if len(e) == 0 {
 		delete(m.cells, k)
+		if m.owned != nil {
+			delete(m.owned, k)
+		}
 		return
 	}
 	m.cells[k] = e
+	if m.owned == nil {
+		m.owned = ownedPool.Get().(map[[2]string]bool)
+	}
+	m.owned[k] = true
 }
 
 // addRel inserts one relation into PM(p, q). Alias and Top relations are
@@ -63,9 +202,9 @@ func (m *Matrix) addRel(p, q string, r Rel) {
 	if p == q {
 		return
 	}
-	m.set(p, q, m.Entry(p, q).add(r))
+	m.set(p, q, m.mutableEntry(p, q).add(r))
 	if r.Kind == RelAlias || r.Kind == RelTop {
-		m.set(q, p, m.Entry(q, p).add(r))
+		m.set(q, p, m.mutableEntry(q, p).add(r))
 	}
 }
 
@@ -73,9 +212,13 @@ func (m *Matrix) addRel(p, q string, r Rel) {
 // marks stale any Via tags that reference v so later stores do not remove
 // relations belonging to the variable's previous value.
 func (m *Matrix) kill(v string) {
+	m.ensureCells()
 	for k := range m.cells {
 		if k[0] == v || k[1] == v {
 			delete(m.cells, k)
+			if m.owned != nil {
+				delete(m.owned, k)
+			}
 		}
 	}
 	m.staleVia(v)
@@ -96,7 +239,7 @@ func (m *Matrix) staleVia(v string) {
 			}
 		}
 		if changed != nil {
-			m.cells[k] = changed
+			m.set(k[0], k[1], changed)
 		}
 	}
 }
@@ -148,7 +291,16 @@ func (m *Matrix) relatedVars(p string) []string {
 }
 
 // addViolation records an abstraction violation.
-func (m *Matrix) addViolation(v Violation) { m.viols[v] = true }
+func (m *Matrix) addViolation(v Violation) {
+	m.ensureViols()
+	m.viols[v] = true
+}
+
+// deleteViolation removes a violation (a repairing store was seen).
+func (m *Matrix) deleteViolation(v Violation) {
+	m.ensureViols()
+	delete(m.viols, v)
+}
 
 // Violations returns outstanding violations in stable order.
 func (m *Matrix) Violations() []Violation {
@@ -190,7 +342,7 @@ func (m *Matrix) MustAlias(p, q string) bool {
 
 // Join merges two matrices (control-flow join).
 func Join(a, b *Matrix) *Matrix {
-	out := NewMatrix(a.vars)
+	out := newMatrix(a.vars)
 	keys := map[[2]string]bool{}
 	for k := range a.cells {
 		keys[k] = true
@@ -202,10 +354,10 @@ func Join(a, b *Matrix) *Matrix {
 		out.set(k[0], k[1], joinEntries(a.cells[k], b.cells[k]))
 	}
 	for v := range a.viols {
-		out.viols[v] = true
+		out.addViolation(v)
 	}
 	for v := range b.viols {
-		out.viols[v] = true
+		out.addViolation(v)
 	}
 	return out
 }

@@ -76,8 +76,16 @@ func (s Step) String() string {
 // (a zero-length path is an alias).
 type Path []Step
 
-// String renders the path with "." separators.
+// String renders the path with "." separators. Interned paths return their
+// memoized rendering.
 func (p Path) String() string {
+	if Interning && len(p) > 0 {
+		return interner.metaOf(p).str
+	}
+	return p.computeString()
+}
+
+func (p Path) computeString() string {
 	parts := make([]string, len(p))
 	for i, s := range p {
 		parts[i] = s.String()
@@ -85,10 +93,14 @@ func (p Path) String() string {
 	return strings.Join(parts, ".")
 }
 
-// Equal reports structural equality.
+// Equal reports structural equality. Interned paths share one backing
+// slice, so the slice-header comparison short-circuits the common case.
 func (p Path) Equal(q Path) bool {
 	if len(p) != len(q) {
 		return false
+	}
+	if len(p) > 0 && &p[0] == &q[0] {
+		return true
 	}
 	for i := range p {
 		if p[i] != q[i] {
@@ -100,8 +112,16 @@ func (p Path) Equal(q Path) bool {
 
 // Key returns a canonical map key for the path. Unlike String it keeps the
 // '~' marker of dimension pseudo-fields, so a pseudo-field never collides
-// with a real field that happens to share the dimension's name.
+// with a real field that happens to share the dimension's name. Interned
+// paths return their memoized key.
 func (p Path) Key() string {
+	if Interning && len(p) > 0 {
+		return interner.metaOf(p).key
+	}
+	return p.computeKey()
+}
+
+func (p Path) computeKey() string {
 	parts := make([]string, len(p))
 	for i, s := range p {
 		switch {
@@ -116,13 +136,52 @@ func (p Path) Key() string {
 	return strings.Join(parts, ".")
 }
 
-// single returns the one-step path f^1.
-func single(field string) Path { return Path{{Field: field, Min: 1}} }
+// sig returns the path's field signature with counts erased (the sigKey
+// grouping). Interned paths return their memoized signature.
+func (p Path) sig() string {
+	if Interning && len(p) > 0 {
+		return interner.metaOf(p).sig
+	}
+	return p.computeSig()
+}
+
+func (p Path) computeSig() string {
+	parts := make([]string, len(p))
+	for i, s := range p {
+		parts[i] = s.Field
+	}
+	return strings.Join(parts, ".")
+}
+
+// single returns the one-step path f^1, interned. One-step paths are the
+// most common path expression the transfer function builds, so they get
+// their own field-keyed cache in front of the intern table.
+func single(field string) Path {
+	if !Interning {
+		return Path{{Field: field, Min: 1}}
+	}
+	if v, ok := singleCache.Load(field); ok {
+		return v.(Path)
+	}
+	p := Intern(Path{{Field: field, Min: 1}})
+	singleCache.Store(field, p)
+	return p
+}
 
 // canon merges adjacent steps over the same field and applies the count cap.
 // It returns ok=false when the path exceeds MaxSteps and the caller must
-// degrade to Top.
+// degrade to Top. Already-canonical paths (the common case once expressions
+// are interned) pass through without rebuilding.
 func canon(p Path) (Path, bool) {
+	isCanon := len(p) <= MaxSteps
+	for i := 0; isCanon && i < len(p); i++ {
+		if p[i].Min > CountCap || (i > 0 && p[i-1].Field == p[i].Field) {
+			isCanon = false
+		}
+	}
+	if isCanon {
+		return Intern(p), true
+	}
 	out := make(Path, 0, len(p))
 	for _, s := range p {
 		if n := len(out); n > 0 && out[n-1].Field == s.Field {
@@ -141,7 +200,7 @@ func canon(p Path) (Path, bool) {
 	if len(out) > MaxSteps {
 		return nil, false
 	}
-	return out, true
+	return Intern(out), true
 }
 
 // concat appends q to p and canonicalizes. ok=false means Top.
@@ -176,7 +235,7 @@ func stripLeading(p Path, field string) []stripResult {
 		if len(rest) == 0 {
 			out = append(out, stripResult{alias: true, ok: true})
 		} else {
-			out = append(out, stripResult{path: append(Path(nil), rest...), ok: true})
+			out = append(out, stripResult{path: Intern(rest), ok: true})
 		}
 	case head.Min == 1 && head.Plus:
 		// One step consumed: either that was the last (alias with rest),
@@ -184,13 +243,13 @@ func stripLeading(p Path, field string) []stripResult {
 		if len(rest) == 0 {
 			out = append(out, stripResult{alias: true, ok: true})
 		} else {
-			out = append(out, stripResult{path: append(Path(nil), rest...), ok: true})
+			out = append(out, stripResult{path: Intern(rest), ok: true})
 		}
 		remainder := append(Path{{Field: field, Min: 1, Plus: true}}, rest...)
-		out = append(out, stripResult{path: remainder, ok: true})
+		out = append(out, stripResult{path: Intern(remainder), ok: true})
 	default: // Min >= 2
 		remainder := append(Path{{Field: field, Min: head.Min - 1, Plus: head.Plus}}, rest...)
-		out = append(out, stripResult{path: remainder, ok: true})
+		out = append(out, stripResult{path: Intern(remainder), ok: true})
 		if head.Plus {
 			// Min-1 could also be exceeded; already covered by Plus remainder.
 			_ = remainder
@@ -212,7 +271,7 @@ func stripTrailing(p Path, field string) []stripResult {
 			out = append(out, r)
 			continue
 		}
-		out = append(out, stripResult{alias: r.alias, path: reversePath(r.path), ok: true})
+		out = append(out, stripResult{alias: r.alias, path: Intern(reversePath(r.path)), ok: true})
 	}
 	return out
 }

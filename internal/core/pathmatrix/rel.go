@@ -2,7 +2,6 @@ package pathmatrix
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -153,13 +152,28 @@ func (e Entry) mustAlias() bool {
 	return ok && r.Certain
 }
 
-// rels returns the relations in a stable order.
+// rels returns the relations in a stable order. Entries are small (EntrySize
+// caps them at 8 by default), so the keys are sorted in a stack buffer by
+// insertion sort; only the returned slice is heap-allocated.
 func (e Entry) rels() []Rel {
-	keys := make([]string, 0, len(e))
+	switch len(e) {
+	case 0:
+		return nil
+	case 1:
+		for _, r := range e {
+			return []Rel{r}
+		}
+	}
+	var kbuf [8]string
+	keys := kbuf[:0]
 	for k := range e {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
 	out := make([]Rel, len(keys))
 	for i, k := range keys {
 		out[i] = e[k]
@@ -190,11 +204,7 @@ func sigKey(r Rel) string {
 	case RelTop:
 		return "??"
 	}
-	parts := make([]string, 0, len(r.Path)+1)
-	for _, s := range r.Path {
-		parts = append(parts, s.Field)
-	}
-	k := strings.Join(parts, ".")
+	k := r.Path.sig()
 	if !r.Via.zero() {
 		k += "|via:" + r.Via.Var + "." + r.Via.Field
 		if r.Via.Stale {
@@ -205,8 +215,12 @@ func sigKey(r Rel) string {
 }
 
 // mergePaths widens two same-signature paths: per-step minimum count, plus
-// whenever the steps differ or either had plus.
+// whenever the steps differ or either had plus. Identical (interned) paths
+// merge to themselves without rebuilding.
 func mergePaths(a, b Path) Path {
+	if len(a) > 0 && len(a) == len(b) && &a[0] == &b[0] {
+		return a
+	}
 	out := make(Path, len(a))
 	for i := range a {
 		min := a[i].Min
@@ -219,30 +233,42 @@ func mergePaths(a, b Path) Path {
 			Plus:  a[i].Plus || b[i].Plus || a[i].Min != b[i].Min,
 		}
 	}
-	return out
+	return Intern(out)
 }
 
-// bySignature folds an entry into signature-canonical form: same-signature
-// path relations merge (certain if any constituent was certain, since each
-// asserted a path of that signature).
-func bySignature(e Entry) map[string]Rel {
-	out := map[string]Rel{}
+// sigRel pairs a relation with its signature key. Entries are small, so the
+// join below matches signatures by linear scan over slices whose backing
+// arrays live on the caller's stack, instead of building two throwaway maps.
+type sigRel struct {
+	sig string
+	rel Rel
+}
+
+// bySignature folds an entry into signature-canonical form, appending to
+// buf: same-signature path relations merge (certain if any constituent was
+// certain, since each asserted a path of that signature).
+func bySignature(e Entry, buf []sigRel) []sigRel {
 	for _, r := range e {
 		k := sigKey(r)
-		old, ok := out[k]
-		if !ok {
-			out[k] = r
-			continue
-		}
-		if r.Kind == RelPath {
-			r.Path = mergePaths(old.Path, r.Path)
+		merged := false
+		for i := range buf {
+			if buf[i].sig != k {
+				continue
+			}
+			old := buf[i].rel
+			if r.Kind == RelPath {
+				r.Path = mergePaths(old.Path, r.Path)
+			}
 			r.Certain = r.Certain || old.Certain
-		} else {
-			r.Certain = r.Certain || old.Certain
+			buf[i].rel = r
+			merged = true
+			break
 		}
-		out[k] = r
+		if !merged {
+			buf = append(buf, sigRel{k, r})
+		}
 	}
-	return out
+	return buf
 }
 
 // joinEntries merges two entries at a control-flow join. Relations are
@@ -252,10 +278,20 @@ func joinEntries(a, b Entry) Entry {
 	if len(a) == 0 && len(b) == 0 {
 		return nil
 	}
-	sa, sb := bySignature(a), bySignature(b)
+	var abuf, bbuf [8]sigRel
+	sa := bySignature(a, abuf[:0])
+	sb := bySignature(b, bbuf[:0])
 	out := Entry{}
-	for k, ra := range sa {
-		rb, ok := sb[k]
+	for _, pa := range sa {
+		ra := pa.rel
+		var rb Rel
+		ok := false
+		for _, pb := range sb {
+			if pb.sig == pa.sig {
+				rb, ok = pb.rel, true
+				break
+			}
+		}
 		if !ok {
 			ra.Certain = false
 			out = out.add(ra)
@@ -268,8 +304,16 @@ func joinEntries(a, b Entry) Entry {
 		merged.Certain = ra.Certain && rb.Certain
 		out = out.add(merged)
 	}
-	for k, rb := range sb {
-		if _, ok := sa[k]; !ok {
+	for _, pb := range sb {
+		found := false
+		for _, pa := range sa {
+			if pa.sig == pb.sig {
+				found = true
+				break
+			}
+		}
+		if !found {
+			rb := pb.rel
 			rb.Certain = false
 			out = out.add(rb)
 		}

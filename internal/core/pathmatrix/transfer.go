@@ -31,6 +31,16 @@ func widenPath(p Path, st *shape.Type) Path {
 	if st == nil {
 		return p
 	}
+	merges := false
+	for i := 1; i < len(p); i++ {
+		if mergeableSteps(st, p[i-1], p[i]) {
+			merges = true
+			break
+		}
+	}
+	if !merges {
+		return p
+	}
 	out := make(Path, 0, len(p))
 	for _, s := range p {
 		if n := len(out); n > 0 && mergeableSteps(st, out[n-1], s) {
@@ -70,9 +80,12 @@ func normConcat(st *shape.Type, a, b Path) (Path, bool) {
 }
 
 // transferer applies normalized statements to matrices, consulting the shape
-// environment for the ADDS-informed rules of Section 5.1.
+// environment for the ADDS-informed rules of Section 5.1. A transferer is
+// used by one analysis goroutine at a time; scratch is the reusable pending-
+// relation buffer for deref (its contents never outlive one statement).
 type transferer struct {
-	env *shape.Env
+	env     *shape.Env
+	scratch []pending
 }
 
 // apply mutates m according to stmt.
@@ -121,7 +134,8 @@ func (t *transferer) deref(m *Matrix, dst, src, field, record string) {
 		fld = st.Field(field)
 	}
 
-	var adds []pending
+	adds := t.scratch[:0]
+	defer func() { t.scratch = adds[:0] }()
 	add := func(p, q string, r Rel) { adds = append(adds, pending{p, q, r}) }
 
 	// Unknown or circular traversal: the paper's conservative case — the
@@ -564,7 +578,7 @@ func (t *transferer) clearRepairedViolations(m *Matrix, base, field string, st *
 		touchesVar := v.Base == base || v.Other == base ||
 			m.MustAlias(v.Base, base) || (v.Other != "" && m.MustAlias(v.Other, base))
 		if touchesVar && (sameOrGrouped(v.Field) || (v.Partner != "" && sameOrGrouped(v.Partner))) {
-			delete(m.viols, v)
+			m.deleteViolation(v)
 		}
 	}
 }

@@ -76,18 +76,49 @@ func (r *Report) Format() string {
 	return b.String()
 }
 
-// All runs every experiment.
-func All() []*Report {
-	return []*Report{
-		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(),
+// Def names one experiment without running it: id, title, and the function
+// that regenerates its report. cmd/addsbench uses the registry to list
+// experiments cheaply and to run selected ones concurrently.
+type Def struct {
+	ID    string
+	Title string
+	Run   func() *Report
+}
+
+// Defs returns the experiment registry, in index order. Titles are duplicated
+// from the Report literals so listing does not run anything; TestDefs keeps
+// the two in sync.
+func Defs() []Def {
+	return []Def{
+		{"E1", "Figure 1 — arrays vs linked lists", E1},
+		{"E2", "Section 3 declarations hold on concrete structures", E2},
+		{"E3", "Section 5.1.2 — conservative alias matrix for the shift loop", E3},
+		{"E4", "Section 5.1.2 — general path matrices (ADDS + GPM)", E4},
+		{"E5", "Figure 2 — dependence graph for the pseudo-assembly loop", E5},
+		{"E6", "Section 5.2 — software pipelining the shift loop", E6},
+		{"E7", "[HG92] — loop unrolling on the scalar machine", E7},
+		{"E8", "k-limited graphs vs ADDS+GPM (Section 1.2's criticism)", E8},
+		{"E9", "Section 5.1.1 — abstraction validation across a subtree move", E9},
+		{"E10", "VLIW width sweep — compaction vs software pipelining", E10},
 	}
 }
 
-// ByID runs one experiment by id ("E1".."E10"), or nil.
+// All runs every experiment.
+func All() []*Report {
+	defs := Defs()
+	out := make([]*Report, len(defs))
+	for i, d := range defs {
+		out[i] = d.Run()
+	}
+	return out
+}
+
+// ByID runs one experiment by id ("E1".."E10"), or nil. Only the requested
+// experiment runs.
 func ByID(id string) *Report {
-	for _, r := range All() {
-		if strings.EqualFold(r.ID, id) {
-			return r
+	for _, d := range Defs() {
+		if strings.EqualFold(d.ID, id) {
+			return d.Run()
 		}
 	}
 	return nil

@@ -222,6 +222,24 @@ func TestE10WidthSweep(t *testing.T) {
 	}
 }
 
+// TestDefs keeps the registry metadata in sync with the Report literals:
+// each Def must produce a report carrying the same id and title.
+func TestDefs(t *testing.T) {
+	defs := Defs()
+	if len(defs) != 10 {
+		t.Fatalf("got %d defs", len(defs))
+	}
+	for _, d := range defs {
+		r := d.Run()
+		if r.ID != d.ID {
+			t.Errorf("def %s produced report id %s", d.ID, r.ID)
+		}
+		if r.Title != d.Title {
+			t.Errorf("def %s title %q != report title %q", d.ID, d.Title, r.Title)
+		}
+	}
+}
+
 func TestByID(t *testing.T) {
 	if ByID("e4") == nil || ByID("E10") == nil {
 		t.Error("ByID lookup failed")

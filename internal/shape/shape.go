@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/source/ast"
 )
@@ -66,6 +67,27 @@ type Type struct {
 	Fields   []*Field // recursive pointer fields, in declaration order
 	indep    map[[2]string]bool
 	byName   map[string]*Field
+
+	// alongOnce lazily indexes Fields by (direction, dimension); the
+	// transfer function queries ForwardAlong/BackwardAlong in its hot path
+	// and must not allocate there. Fields are immutable once the type is
+	// published, so building the index once is safe.
+	alongOnce sync.Once
+	fwdAlong  map[string][]*Field
+	bwdAlong  map[string][]*Field
+}
+
+func (t *Type) buildAlong() {
+	t.fwdAlong = map[string][]*Field{}
+	t.bwdAlong = map[string][]*Field{}
+	for _, f := range t.Fields {
+		switch f.Dir {
+		case Forward, UniquelyForward:
+			t.fwdAlong[f.Dim] = append(t.fwdAlong[f.Dim], f)
+		case Backward:
+			t.bwdAlong[f.Dim] = append(t.bwdAlong[f.Dim], f)
+		}
+	}
 }
 
 // Env is the set of shape models for a program, keyed by type name.
@@ -127,26 +149,17 @@ func (t *Type) GroupOf(f string) []string {
 }
 
 // ForwardAlong returns the fields traversing dim in the forward or uniquely
-// forward direction.
+// forward direction. The result is cached and must not be mutated.
 func (t *Type) ForwardAlong(dim string) []*Field {
-	var out []*Field
-	for _, f := range t.Fields {
-		if f.Dim == dim && (f.Dir == Forward || f.Dir == UniquelyForward) {
-			out = append(out, f)
-		}
-	}
-	return out
+	t.alongOnce.Do(t.buildAlong)
+	return t.fwdAlong[dim]
 }
 
-// BackwardAlong returns the fields traversing dim backward.
+// BackwardAlong returns the fields traversing dim backward. The result is
+// cached and must not be mutated.
 func (t *Type) BackwardAlong(dim string) []*Field {
-	var out []*Field
-	for _, f := range t.Fields {
-		if f.Dim == dim && f.Dir == Backward {
-			out = append(out, f)
-		}
-	}
-	return out
+	t.alongOnce.Do(t.buildAlong)
+	return t.bwdAlong[dim]
 }
 
 // BackwardPartner returns a backward field along the same dimension as the
