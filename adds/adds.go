@@ -1,13 +1,19 @@
 // Package adds is the public API of the ADDS reproduction: Abstractions for
 // Recursive Pointer Data Structures (Hendren, Hummel, Nicolau, PLDI 1992).
 //
-// The package bundles the whole pipeline behind a small surface:
+// The package bundles the whole pipeline behind a small surface. The
+// context-first entry points are the canonical ones:
 //
-//	unit := adds.MustLoad(src)            // parse + type-check mini source
-//	an, _ := unit.Analyze("shift")        // general path matrix analysis
+//	unit, err := adds.Load(src)           // parse + type-check mini source
+//	an, err := unit.AnalyzeOpt(ctx, "shift",
+//	    adds.WithOracle(adds.GPM))        // general path matrix analysis
 //	m := an.LoopMatrix(0)                 // PM at the loop's fixed point
-//	dg := an.Dependences(0, an.GPMOracle())
+//	dg := an.Dependences(0, an.Oracle())
 //	pl, _ := an.Pipeline(0, 8)            // software-pipelined VLIW code
+//
+// Recoverable failures are typed (ErrUnknownFunction, ErrNoSuchLoop,
+// ErrBadWidth, *SourceError) and match with errors.Is/As; MustLoad and
+// MustAnalyze are test helpers that panic instead.
 //
 // Mini is a small C-like language whose type declarations carry the paper's
 // ADDS annotations ("is uniquely forward along X", "where X || Y", ...).
@@ -16,7 +22,6 @@ package adds
 
 import (
 	"context"
-	"fmt"
 
 	"repro/internal/alias"
 	"repro/internal/alias/klimit"
@@ -86,20 +91,23 @@ type Unit struct {
 	Info *Info
 }
 
-// Load parses and type-checks mini source.
+// Load parses and type-checks mini source. Parse and type diagnostics are
+// reported as a *SourceError carrying the first position (errors.As).
 func Load(src []byte) (*Unit, error) {
 	prog, err := parser.Parse(src)
 	if err != nil {
-		return nil, err
+		return nil, wrapParseErr(err)
 	}
 	info, errs := types.Check(prog)
 	if len(errs) > 0 {
-		return nil, errs[0]
+		return nil, wrapTypeErrs(errs)
 	}
 	return &Unit{Prog: prog, Info: info}, nil
 }
 
-// MustLoad is Load for fixed sources; it panics on error.
+// MustLoad is Load for fixed sources; it panics on error. It is a test and
+// example helper only — serving paths and tools load with Load and report
+// the typed error.
 func MustLoad(src string) *Unit {
 	u, err := Load([]byte(src))
 	if err != nil {
@@ -128,48 +136,25 @@ type Analysis struct {
 	GPM   *pathmatrix.Result
 
 	prog *ir.Program
+	cfg  config
 }
 
 // Analyze runs general path matrix analysis (with the ADDS declarations)
-// over the named function and prepares its IR.
+// over the named function and prepares its IR. It is a thin wrapper over
+// the context-first AnalyzeOpt.
 func (u *Unit) Analyze(fn string) (*Analysis, error) {
-	fi := u.Info.Func(fn)
-	if fi == nil {
-		return nil, fmt.Errorf("adds: function %q not declared", fn)
-	}
-	g := norm.Build(fi, u.Info.Env)
-	return &Analysis{
-		Unit:  u,
-		Fn:    fi,
-		Graph: g,
-		GPM:   pathmatrix.Analyze(g, u.Info.Env),
-		prog:  ir.Build(fi, u.Info.Env),
-	}, nil
+	return u.AnalyzeOpt(context.Background(), fn)
 }
 
 // AnalyzeAll analyzes every function of the unit with a bounded worker pool
-// (workers <= 0 means one per CPU). The result map is independent of worker
-// count and scheduling; cancelling ctx abandons the remaining functions and
-// returns ctx's error.
+// (workers <= 0 means one per CPU). It is a thin wrapper over the
+// option-taking AnalyzeAllOpt.
 func (u *Unit) AnalyzeAll(ctx context.Context, workers int) (map[string]*Analysis, error) {
-	frs, err := pathmatrix.AnalyzeProgramCtx(ctx, u.Info, u.Info.Env, workers)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string]*Analysis, len(frs))
-	for name, fr := range frs {
-		out[name] = &Analysis{
-			Unit:  u,
-			Fn:    fr.Info,
-			Graph: fr.Graph,
-			GPM:   fr.Result,
-			prog:  ir.Build(fr.Info, u.Info.Env),
-		}
-	}
-	return out, nil
+	return u.AnalyzeAllOpt(ctx, WithWorkers(workers))
 }
 
-// MustAnalyze panics on error.
+// MustAnalyze panics on error. It is a test and example helper only —
+// serving paths and tools use AnalyzeOpt and report the typed error.
 func (u *Unit) MustAnalyze(fn string) *Analysis {
 	a, err := u.Analyze(fn)
 	if err != nil {
@@ -244,7 +229,14 @@ func (a *Analysis) AnalyzePipeline(i int, o Oracle, width int) PipelineInfo {
 
 // Pipeline software-pipelines loop i for a VLIW of the given width using
 // the ADDS-informed oracle, following the paper's Section 5.2 derivation.
+// A bad loop index reports ErrNoSuchLoop, a non-positive width ErrBadWidth.
 func (a *Analysis) Pipeline(i, width int) (*VLIWProgram, PipelineInfo, error) {
+	if err := a.CheckLoop(i); err != nil {
+		return nil, PipelineInfo{}, err
+	}
+	if err := checkWidth(width); err != nil {
+		return nil, PipelineInfo{}, err
+	}
 	pl, err := xform.EmitPipelined(a.prog, a.prog.Loops[i], a.options(i, a.GPMOracle()), width)
 	if err != nil {
 		return nil, PipelineInfo{}, err
@@ -252,8 +244,12 @@ func (a *Analysis) Pipeline(i, width int) (*VLIWProgram, PipelineInfo, error) {
 	return pl.Prog, pl.Info, nil
 }
 
-// Unroll returns loop i unrolled k times for the scalar machine.
+// Unroll returns loop i unrolled k times for the scalar machine. A bad loop
+// index reports ErrNoSuchLoop.
 func (a *Analysis) Unroll(i, k int) (*IRProgram, error) {
+	if err := a.CheckLoop(i); err != nil {
+		return nil, err
+	}
 	return xform.Unroll(a.prog, a.prog.Loops[i], k, a.options(i, a.GPMOracle()))
 }
 

@@ -1,0 +1,228 @@
+package adds
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core/pathmatrix"
+	"repro/internal/ir"
+	"repro/internal/norm"
+)
+
+// OracleKind selects an alias oracle by name instead of by constructing one
+// from an Analysis, so callers can pick an oracle before analysis runs (and
+// wire requests straight through to WithOracle).
+type OracleKind int
+
+// The oracle registry, in the paper's order of precision.
+const (
+	// GPM is the ADDS-informed general path matrix oracle (the paper's
+	// analysis, and the default).
+	GPM OracleKind = iota
+	// Classic is the annotation-free path matrix oracle.
+	Classic
+	// Conservative is the worst-case baseline.
+	Conservative
+	// KLimited is the k-limited storage-graph baseline (see WithK).
+	KLimited
+)
+
+// String names the oracle the way the CLIs spell it.
+func (k OracleKind) String() string {
+	switch k {
+	case GPM:
+		return "gpm"
+	case Classic:
+		return "classic"
+	case Conservative:
+		return "conservative"
+	case KLimited:
+		return "klimit"
+	}
+	return fmt.Sprintf("OracleKind(%d)", int(k))
+}
+
+// ParseOracle maps a CLI/API oracle name to its kind.
+func ParseOracle(name string) (OracleKind, error) {
+	switch strings.ToLower(name) {
+	case "", "gpm":
+		return GPM, nil
+	case "classic":
+		return Classic, nil
+	case "conservative":
+		return Conservative, nil
+	case "klimit", "klimited":
+		return KLimited, nil
+	}
+	return 0, fmt.Errorf("adds: unknown oracle %q (known: gpm, classic, conservative, klimit)", name)
+}
+
+// config collects the effect of the functional options.
+type config struct {
+	workers  int
+	oracle   OracleKind
+	k        int
+	countCap int // 0 = package default
+	maxSteps int // 0 = package default
+}
+
+func defaultConfig() config { return config{oracle: GPM, k: 2} }
+
+// Option configures AnalyzeOpt and AnalyzeAllOpt.
+type Option func(*config)
+
+// WithWorkers bounds the analysis worker pool for AnalyzeAllOpt
+// (n <= 0 means one worker per CPU). It has no effect on single-function
+// analysis.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithOracle selects the default oracle the Analysis hands out from
+// Oracle(); dependence and pipelining helpers that take an explicit Oracle
+// are unaffected.
+func WithOracle(o OracleKind) Option { return func(c *config) { c.oracle = o } }
+
+// WithK sets k for the KLimited oracle (default 2).
+func WithK(k int) Option { return func(c *config) { c.k = k } }
+
+// WithCountCap overrides the engine's per-field traversal count cap
+// (pathmatrix.CountCap) for this analysis. Overridden analyses serialize
+// against every other analysis in the process, so reserve this for ablation
+// runs, not the serving path.
+func WithCountCap(k int) Option { return func(c *config) { c.countCap = k } }
+
+// WithMaxSteps overrides the engine's path-length bound
+// (pathmatrix.MaxSteps) for this analysis, with the same serialization
+// caveat as WithCountCap.
+func WithMaxSteps(n int) Option { return func(c *config) { c.maxSteps = n } }
+
+// capMu guards the engine's ablation knobs (pathmatrix.CountCap/MaxSteps):
+// analyses under default caps share a read lock; an analysis overriding
+// them takes the write lock, so the globals never change mid-analysis.
+var capMu sync.RWMutex
+
+func withCaps(cfg config, f func() error) error {
+	if cfg.countCap == 0 && cfg.maxSteps == 0 {
+		capMu.RLock()
+		defer capMu.RUnlock()
+		return f()
+	}
+	capMu.Lock()
+	defer capMu.Unlock()
+	oldCap, oldSteps := pathmatrix.CountCap, pathmatrix.MaxSteps
+	defer func() { pathmatrix.CountCap, pathmatrix.MaxSteps = oldCap, oldSteps }()
+	if cfg.countCap > 0 {
+		pathmatrix.CountCap = cfg.countCap
+	}
+	if cfg.maxSteps > 0 {
+		pathmatrix.MaxSteps = cfg.maxSteps
+	}
+	return f()
+}
+
+// AnalyzeOpt runs general path matrix analysis over one function. It is the
+// context-first entry point the older Analyze wraps:
+//
+//	an, err := u.AnalyzeOpt(ctx, "shift",
+//	    adds.WithOracle(adds.GPM), adds.WithCountCap(4))
+//
+// Cancelling ctx abandons the fixed-point computation and returns ctx's
+// error. An unknown function name reports ErrUnknownFunction.
+func (u *Unit) AnalyzeOpt(ctx context.Context, fn string, opts ...Option) (*Analysis, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	fi := u.Info.Func(fn)
+	if fi == nil {
+		return nil, fmt.Errorf("adds: %w: %q not declared", ErrUnknownFunction, fn)
+	}
+	var an *Analysis
+	err := withCaps(cfg, func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		g := norm.Build(fi, u.Info.Env)
+		r, err := pathmatrix.AnalyzeCtx(ctx, g, u.Info.Env)
+		if err != nil {
+			return err
+		}
+		an = &Analysis{
+			Unit: u, Fn: fi, Graph: g, GPM: r,
+			prog: ir.Build(fi, u.Info.Env), cfg: cfg,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return an, nil
+}
+
+// AnalyzeAllOpt analyzes every function of the unit with a bounded worker
+// pool (see WithWorkers). The result map is independent of worker count and
+// scheduling; cancelling ctx abandons the remaining functions and returns
+// ctx's error.
+func (u *Unit) AnalyzeAllOpt(ctx context.Context, opts ...Option) (map[string]*Analysis, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var out map[string]*Analysis
+	err := withCaps(cfg, func() error {
+		frs, err := pathmatrix.AnalyzeProgramCtx(ctx, u.Info, u.Info.Env, cfg.workers)
+		if err != nil {
+			return err
+		}
+		out = make(map[string]*Analysis, len(frs))
+		for name, fr := range frs {
+			out[name] = &Analysis{
+				Unit: u, Fn: fr.Info, Graph: fr.Graph, GPM: fr.Result,
+				prog: ir.Build(fr.Info, u.Info.Env), cfg: cfg,
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Oracle returns the oracle selected with WithOracle (GPM by default),
+// constructed for this analysis.
+func (a *Analysis) Oracle() Oracle {
+	switch a.cfg.oracle {
+	case Classic:
+		return a.ClassicOracle()
+	case Conservative:
+		return a.ConservativeOracle()
+	case KLimited:
+		k := a.cfg.k
+		if k <= 0 {
+			k = 2
+		}
+		return a.KLimitedOracle(k)
+	}
+	return a.GPMOracle()
+}
+
+// CheckLoop reports ErrNoSuchLoop when i is not a loop index of the
+// function. The positional accessors (LoopMatrix, Dependences, ...) assume
+// a valid index; boundary-facing callers validate with CheckLoop first.
+func (a *Analysis) CheckLoop(i int) error {
+	if i < 0 || i >= a.Loops() {
+		return fmt.Errorf("adds: %w: loop %d of function %s (has %d)",
+			ErrNoSuchLoop, i, a.Fn.Decl.Name, a.Loops())
+	}
+	return nil
+}
+
+// checkWidth reports ErrBadWidth for a non-positive machine width.
+func checkWidth(width int) error {
+	if width < 1 {
+		return fmt.Errorf("adds: %w: %d", ErrBadWidth, width)
+	}
+	return nil
+}

@@ -9,6 +9,10 @@
 //	addsbench E4 E6      # run selected experiments
 //	addsbench -par 4     # run experiments concurrently (same output)
 //	addsbench -list      # list experiment ids and titles
+//
+// Exit codes follow the shared adds convention: 0 ok, 1 internal or unknown
+// experiment, 2 flag misuse; typed facade errors surfacing from experiment
+// code keep their shared codes via adds.ExitCode.
 package main
 
 import (
@@ -43,7 +47,11 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	par := fs.Int("par", 1, "experiment worker count (0 = one per CPU)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return adds.ExitUsage
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "addsbench:", err)
+		return adds.ExitCode(err)
 	}
 
 	if *list {
@@ -55,13 +63,11 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(stderr, "addsbench:", err)
-			return 1
+			return fail(err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(stderr, "addsbench:", err)
-			return 1
+			return fail(err)
 		}
 		defer pprof.StopCPUProfile()
 	}

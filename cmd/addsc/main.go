@@ -10,10 +10,16 @@
 //	addsc -fn shift -oracle conservative -show deps prog.mini
 //	addsc -show check prog.mini          # parse + type-check only
 //	addsc -par 4 -show matrix prog.mini  # analyze functions in parallel
+//	addsc -format json prog.mini         # the addsd wire encoding, to stdout
+//
+// Exit codes are shared across the adds tools: 0 ok, 1 internal, 2 usage,
+// 3 source error, 4 unknown function, 5 no such loop, 6 bad width.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +28,7 @@ import (
 	"strings"
 
 	"repro/adds"
+	"repro/internal/service"
 )
 
 func main() {
@@ -48,38 +55,41 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	width := fs.Int("width", 8, "VLIW width for -show pipeline")
 	unroll := fs.Int("unroll", 3, "factor for -show unroll")
 	par := fs.Int("par", 0, "analysis worker count (0 = one per CPU, 1 = serial)")
+	format := fs.String("format", "text", "output format: text or json (the addsd wire encoding)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return adds.ExitUsage
 	}
 
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: addsc [flags] file.mini")
 		fs.Usage()
-		return 2
+		return adds.ExitUsage
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "addsc: unknown -format %q (known: text, json)\n", *format)
+		return adds.ExitUsage
+	}
+	// fail reports one error the one-line way and picks the shared exit code
+	// for its class, so scripts can branch on status without parsing text.
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "addsc:", err)
+		return adds.ExitCode(err)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(stderr, "addsc:", err)
-			return 1
+			return fail(err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(stderr, "addsc:", err)
-			return 1
+			return fail(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(stderr, "addsc:", err)
-		return 1
-	}
-	unit, err := adds.Load(src)
-	if err != nil {
-		fmt.Fprintln(stderr, "addsc:", err)
-		return 1
+		return fail(err)
 	}
 
 	known := map[string]bool{
@@ -91,10 +101,22 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 		s = strings.TrimSpace(s)
 		if !known[s] {
 			fmt.Fprintf(stderr, "addsc: unknown -show item %q (known: check,ir,matrix,iter,deps,dot,validate,pipeline,unroll)\n", s)
-			return 1
+			return adds.ExitUsage
 		}
 		wants[s] = true
 	}
+
+	// JSON mode goes through the same builders as the addsd endpoints, so
+	// the CLI and the daemon can never disagree about the wire encoding.
+	if *format == "json" {
+		return runJSON(stdout, stderr, fail, string(src), *fn, *oracleName, *k, *par, *width, wants["pipeline"])
+	}
+
+	unit, err := adds.Load(src)
+	if err != nil {
+		return fail(err)
+	}
+
 	if wants["check"] && len(wants) == 1 {
 		fmt.Fprintln(stdout, "ok")
 		return 0
@@ -107,16 +129,14 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	if *fn != "" {
 		an, err := unit.Analyze(*fn)
 		if err != nil {
-			fmt.Fprintln(stderr, "addsc:", err)
-			return 1
+			return fail(err)
 		}
 		fns = []string{*fn}
 		analyses[*fn] = an
 	} else {
 		analyses, err = unit.AnalyzeAll(context.Background(), *par)
 		if err != nil {
-			fmt.Fprintln(stderr, "addsc:", err)
-			return 1
+			return fail(err)
 		}
 		for _, fd := range unit.Prog.Funcs {
 			fns = append(fns, fd.Name)
@@ -130,7 +150,7 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 		oracle, err := pickOracle(an, *oracleName, *k)
 		if err != nil {
 			fmt.Fprintln(stderr, "addsc:", err)
-			return 1
+			return adds.ExitUsage
 		}
 
 		if wants["ir"] {
@@ -189,6 +209,51 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 				fmt.Fprintln(stdout, u.String())
 			}
 		}
+	}
+	return 0
+}
+
+// runJSON prints the daemon's wire encoding: an AnalyzeResponse, plus one
+// PipelineResponse per loop when -show pipeline was requested.
+func runJSON(stdout, stderr io.Writer, fail func(error) int, src, fn, oracle string, k, par, width int, withPipeline bool) int {
+	// Request-shape mistakes (an unknown oracle) are usage errors here, the
+	// same class the flag parser reports.
+	jfail := func(err error) int {
+		if errors.Is(err, service.ErrBadRequest) {
+			fmt.Fprintln(stderr, "addsc:", err)
+			return adds.ExitUsage
+		}
+		return fail(err)
+	}
+	ctx := context.Background()
+	resp, err := service.BuildAnalyze(ctx, &service.AnalyzeRequest{
+		Source: src, Fn: fn, Oracle: oracle, K: k, Workers: par,
+	})
+	if err != nil {
+		return jfail(err)
+	}
+	out := struct {
+		*service.AnalyzeResponse
+		Pipelines []*service.PipelineResponse `json:"pipelines,omitempty"`
+	}{AnalyzeResponse: resp}
+	if withPipeline {
+		for _, fr := range resp.Functions {
+			for i := 0; i < fr.Loops; i++ {
+				p, err := service.BuildPipeline(ctx, &service.PipelineRequest{
+					Source: src, Fn: fr.Name, Loop: i, Width: width, Oracle: oracle, K: k,
+				})
+				if err != nil {
+					return jfail(err)
+				}
+				out.Pipelines = append(out.Pipelines, p)
+			}
+		}
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(out); err != nil {
+		return fail(err)
 	}
 	return 0
 }

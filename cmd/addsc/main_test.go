@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/adds"
 )
 
 // runCmd drives run() in-process and returns (status, stdout, stderr).
@@ -116,5 +119,75 @@ func TestCPUProfileFlag(t *testing.T) {
 	}
 	if st, err := os.Stat(prof); err != nil || st.Size() == 0 {
 		t.Errorf("profile not written: %v", err)
+	}
+}
+
+// TestExitCodes pins the shared exit-code convention: each failure class has
+// its own status so scripts can branch without parsing stderr.
+func TestExitCodes(t *testing.T) {
+	good := writeTemp(t, "void f() { return; }")
+	bad := writeTemp(t, "void f() { x = ; }")
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"source error", []string{"-show", "check", bad}, adds.ExitSource},
+		{"unknown function", []string{"-fn", "nope", good}, adds.ExitNoFunc},
+		{"unknown oracle", []string{"-oracle", "psychic", good}, adds.ExitUsage},
+		{"unknown show item", []string{"-show", "bogus", good}, adds.ExitUsage},
+		{"bad format", []string{"-format", "yaml", good}, adds.ExitUsage},
+		{"json source error", []string{"-format", "json", bad}, adds.ExitSource},
+		{"json unknown function", []string{"-format", "json", "-fn", "nope", good}, adds.ExitNoFunc},
+		{"json unknown oracle", []string{"-format", "json", "-oracle", "psychic", good}, adds.ExitUsage},
+	}
+	for _, tc := range cases {
+		status, _, stderr := runCmd(t, tc.args...)
+		if status != tc.want {
+			t.Errorf("%s: status = %d, want %d (stderr %q)", tc.name, status, tc.want, stderr)
+		}
+	}
+}
+
+// TestJSONFormat checks -format json emits the daemon's wire encoding.
+func TestJSONFormat(t *testing.T) {
+	f := filepath.Join("..", "..", "testdata", "listops.mini")
+	status, out, stderr := runCmd(t, "-format", "json", f)
+	if status != 0 {
+		t.Fatalf("status %d, stderr %q", status, stderr)
+	}
+	var resp struct {
+		EngineVersion string `json:"engineVersion"`
+		Functions     []struct {
+			Name string `json:"name"`
+		} `json:"functions"`
+	}
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if resp.EngineVersion == "" || len(resp.Functions) == 0 {
+		t.Fatalf("wire fields missing: %+v", resp)
+	}
+}
+
+// TestJSONPipeline: -show pipeline in JSON mode appends per-loop pipeline
+// responses.
+func TestJSONPipeline(t *testing.T) {
+	f := filepath.Join("..", "..", "testdata", "listops.mini")
+	status, out, stderr := runCmd(t, "-format", "json", "-show", "pipeline", f)
+	if status != 0 {
+		t.Fatalf("status %d, stderr %q", status, stderr)
+	}
+	var resp struct {
+		Pipelines []struct {
+			Fn   string `json:"fn"`
+			Loop int    `json:"loop"`
+		} `json:"pipelines"`
+	}
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(resp.Pipelines) == 0 {
+		t.Fatal("no pipeline responses in JSON output")
 	}
 }

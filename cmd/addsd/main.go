@@ -1,0 +1,106 @@
+// Command addsd serves the path-matrix analysis as a long-lived daemon:
+// POST a mini source to /v1/analyze or /v1/pipeline and get the same JSON
+// the addsc -format json CLI prints. Results are content-addressed — keyed
+// by source, options, and engine version — so repeated and concurrent
+// identical requests are answered from cache or coalesced into one run.
+//
+// Usage:
+//
+//	addsd -addr :7117
+//	curl -s localhost:7117/healthz
+//	jq -Rs '{source: .}' prog.mini | curl -s -d @- localhost:7117/v1/analyze
+//
+// Observability: GET /metrics (Prometheus text format), GET /healthz, and
+// the standard /debug/pprof endpoints.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the whole daemon, factored out so tests can drive it in-process.
+// When ready is non-nil it receives the bound address once the listener is
+// up (tests pass -addr 127.0.0.1:0 and read the real port from it).
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("addsd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7117", "listen address")
+	cacheEntries := fs.Int("cache", 512, "maximum cached results")
+	workers := fs.Int("workers", 0, "concurrent analyses (0 = one per CPU)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request analysis budget")
+	drain := fs.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: addsd [flags]")
+		fs.Usage()
+		return 2
+	}
+
+	svc := service.New(service.Config{
+		CacheEntries:   *cacheEntries,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+	})
+
+	// Install the signal handler before announcing readiness so a SIGTERM
+	// arriving during startup drains instead of killing the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "addsd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "addsd: listening on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "addsd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, finish in-flight requests, then report
+	// the cache counters so a session's effectiveness is visible in logs.
+	fmt.Fprintln(stdout, "addsd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "addsd: shutdown:", err)
+		return 1
+	}
+	m := svc.Metrics()
+	fmt.Fprintf(stdout, "addsd: bye (cache hits %d, misses %d, coalesced %d)\n",
+		m.CacheHits(), m.CacheMisses(), m.CacheCoalesced())
+	return 0
+}

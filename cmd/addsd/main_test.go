@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon in-process on an ephemeral port and returns
+// its base URL plus a function that delivers SIGINT and waits for the
+// graceful drain to finish.
+func startDaemon(t *testing.T, extraArgs ...string) (string, func() (int, string)) {
+	t.Helper()
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() { done <- run(args, &out, &out, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not start; output:\n%s", out.String())
+	}
+	shutdown := func() (int, string) {
+		syscall.Kill(os.Getpid(), syscall.SIGINT) //nolint:errcheck
+		select {
+		case code := <-done:
+			return code, out.String()
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon did not drain; output:\n%s", out.String())
+			return -1, ""
+		}
+	}
+	return "http://" + addr, shutdown
+}
+
+func TestDaemonServesAndDrains(t *testing.T) {
+	base, shutdown := startDaemon(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz = %d %s", resp.StatusCode, body)
+	}
+
+	// One analysis twice: the second answer must come from the cache.
+	req, _ := json.Marshal(map[string]string{
+		"source": "type L [N] { int v; L *next is uniquely forward along N; };\n" +
+			"void f(L *p) { while (p != NULL) { p->v = 0; p = p->next; } }",
+	})
+	for i, want := range []string{"miss", "hit"} {
+		resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != 200 || resp.Header.Get("X-Cache") != want {
+			t.Fatalf("request %d: status %d, X-Cache %q, want 200 %q",
+				i, resp.StatusCode, resp.Header.Get("X-Cache"), want)
+		}
+	}
+
+	code, output := shutdown()
+	if code != 0 {
+		t.Fatalf("exit code %d; output:\n%s", code, output)
+	}
+	if !strings.Contains(output, "listening on http://") {
+		t.Errorf("missing listen line:\n%s", output)
+	}
+	if !strings.Contains(output, "cache hits 1, misses 1") {
+		t.Errorf("shutdown summary missing cache counters:\n%s", output)
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-nonsense"}, &out, &out, nil); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if code := run([]string{"extra-arg"}, &out, &out, nil); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestDaemonBadAddr(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-addr", "256.0.0.1:bad"}, &out, &out, nil); code != 1 {
+		t.Fatalf("exit = %d, want 1; output %s", code, out.String())
+	}
+}

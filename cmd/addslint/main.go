@@ -10,7 +10,9 @@
 //	addslint -entry build prog.mini
 //
 // The entry function must take no parameters (or a single int, settable
-// with -n). Exit status 1 means the heap violates a declaration.
+// with -n). Exit status 1 means the heap violates a declaration (or an
+// internal failure); the other codes are shared across the adds tools:
+// 2 usage, 3 source error in the input, 4 unknown entry function.
 package main
 
 import (
@@ -48,9 +50,11 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 		fmt.Fprintln(stderr, "usage: addslint [flags] file.mini")
 		return 2
 	}
+	// fail reports one error the one-line way and picks the shared exit code
+	// for its class (source errors 3, unknown entry 4, otherwise 1).
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "addslint:", err)
-		return 1
+		return adds.ExitCode(err)
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -62,7 +66,7 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	}
 	fd := unit.Prog.FuncByName(*entry)
 	if fd == nil {
-		return fail(fmt.Errorf("entry function %q not found", *entry))
+		return fail(fmt.Errorf("%w: entry %q not found", adds.ErrUnknownFunction, *entry))
 	}
 
 	in := unit.Interp()

@@ -196,6 +196,9 @@ func AnalyzeCtx(ctx context.Context, g *norm.Graph, env *shape.Env) (*Result, er
 
 		var before, after *Matrix
 		if visits[n.ID]++; visits[n.ID] > nodeVisitBudget {
+			if visits[n.ID] == nodeVisitBudget+1 {
+				engineStats.widenings.Add(1)
+			}
 			if widened == nil {
 				widened = widenedMatrix(g)
 			}
@@ -253,6 +256,8 @@ func AnalyzeCtx(ctx context.Context, g *norm.Graph, env *shape.Env) (*Result, er
 			}
 		}
 	}
+	engineStats.analyses.Add(1)
+	engineStats.iterations.Add(uint64(iter))
 	return res, nil
 }
 

@@ -1,0 +1,77 @@
+package pathmatrix
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// relJSON is the wire form of one relation. Kind is "alias", "path", or
+// "top"; Path carries the paper's display form ("next^2", "next+") for path
+// relations only.
+type relJSON struct {
+	Kind    string `json:"kind"`
+	Certain bool   `json:"certain"`
+	Path    string `json:"path,omitempty"`
+}
+
+// cellJSON is the wire form of one non-empty matrix cell PM(p, q).
+type cellJSON struct {
+	P    string    `json:"p"`
+	Q    string    `json:"q"`
+	Rels []relJSON `json:"rels"`
+}
+
+// matrixJSON is the wire form of a Matrix.
+type matrixJSON struct {
+	Vars       []string   `json:"vars"`
+	Cells      []cellJSON `json:"cells"`
+	Violations []string   `json:"violations,omitempty"`
+	Valid      bool       `json:"valid"`
+}
+
+func relToJSON(r Rel) relJSON {
+	switch r.Kind {
+	case RelAlias:
+		return relJSON{Kind: "alias", Certain: r.Certain}
+	case RelTop:
+		return relJSON{Kind: "top"}
+	default:
+		return relJSON{Kind: "path", Certain: r.Certain, Path: r.Path.String()}
+	}
+}
+
+// MarshalJSON renders the matrix deterministically: display variables in
+// declaration order, non-empty cells sorted by (p, q), relations in the
+// package's stable order, violations sorted by their rendering. It is the
+// one encoding shared by the addsd responses and addsc -format json.
+func (m *Matrix) MarshalJSON() ([]byte, error) {
+	out := matrixJSON{
+		Vars:  m.displayVars(),
+		Cells: []cellJSON{},
+		Valid: m.Valid(),
+	}
+	keys := make([][2]string, 0, len(m.cells))
+	for k, e := range m.cells {
+		if len(e) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		rels := m.cells[k].rels()
+		rj := make([]relJSON, len(rels))
+		for i, r := range rels {
+			rj[i] = relToJSON(r)
+		}
+		out.Cells = append(out.Cells, cellJSON{P: k[0], Q: k[1], Rels: rj})
+	}
+	for _, v := range m.Violations() {
+		out.Violations = append(out.Violations, v.String())
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,38 @@
+package pathmatrix
+
+import "sync/atomic"
+
+// EngineVersion stamps analysis results produced by this package. It is part
+// of the content-addressed cache key in internal/service: bump it whenever a
+// change alters analysis output for the same input (transfer functions, join,
+// widening, path canonicalization), so stale cached results can never be
+// served for the new engine.
+const EngineVersion = "gpm-2"
+
+// Stats is a snapshot of engine-wide counters since process start. The
+// counters are monotone and cheap (one atomic add per event); they feed the
+// service /metrics endpoint and capacity debugging.
+type Stats struct {
+	Analyses      uint64 // completed AnalyzeCtx runs
+	Iterations    uint64 // fixed-point worklist iterations across all runs
+	Widenings     uint64 // nodes forcibly widened after exhausting the budget
+	InternedPaths uint64 // distinct paths in the intern table (gauge)
+}
+
+var engineStats struct {
+	analyses   atomic.Uint64
+	iterations atomic.Uint64
+	widenings  atomic.Uint64
+}
+
+// ReadStats returns the engine counters. InternedPaths is read from the
+// intern table at call time, so it reflects the current table size rather
+// than a running total.
+func ReadStats() Stats {
+	return Stats{
+		Analyses:      engineStats.analyses.Load(),
+		Iterations:    engineStats.iterations.Load(),
+		Widenings:     engineStats.widenings.Load(),
+		InternedPaths: uint64(InternerStats()),
+	}
+}

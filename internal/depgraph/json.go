@@ -1,0 +1,40 @@
+package depgraph
+
+import "encoding/json"
+
+// edgeJSON is the wire form of one dependence edge.
+type edgeJSON struct {
+	From    int    `json:"from"`
+	To      int    `json:"to"`
+	Kind    string `json:"kind"`
+	Carried bool   `json:"carried,omitempty"`
+	Must    bool   `json:"must,omitempty"`
+	Mem     bool   `json:"mem,omitempty"`
+	Loc     string `json:"loc"`
+}
+
+// graphJSON is the wire form of a dependence graph. Body instructions keep
+// their S-numbered rendering; edges appear in construction order, which is
+// deterministic for a given program and oracle.
+type graphJSON struct {
+	Oracle string     `json:"oracle"`
+	Body   []string   `json:"body"`
+	Edges  []edgeJSON `json:"edges"`
+}
+
+// MarshalJSON renders the graph in the encoding shared by addsd responses
+// and addsc -format json. Control edges are included (unlike String, which
+// drops them as listing noise) so consumers can rebuild the full graph.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	out := graphJSON{Oracle: g.Oracle, Body: []string{}, Edges: []edgeJSON{}}
+	for _, in := range g.Body {
+		out.Body = append(out.Body, in.String())
+	}
+	for _, e := range g.Edges {
+		out.Edges = append(out.Edges, edgeJSON{
+			From: e.From, To: e.To, Kind: e.Kind.String(),
+			Carried: e.Carried, Must: e.Must, Mem: e.Mem, Loc: e.Loc,
+		})
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,32 @@
+package exper
+
+import "encoding/json"
+
+// reportJSON is the wire form of a Report. Slices are normalized to empty
+// (never null) so the encoding is stable across reports that lack a section.
+type reportJSON struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Claim   string     `json:"claim,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes"`
+	Figures []string   `json:"figures"`
+}
+
+func nonNil[T any](s []T) []T {
+	if s == nil {
+		return []T{}
+	}
+	return s
+}
+
+// MarshalJSON renders the report in the encoding shared by addsd
+// /v1/experiments responses and addsbench -format json.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(reportJSON{
+		ID: r.ID, Title: r.Title, Claim: r.Claim,
+		Headers: nonNil(r.Headers), Rows: nonNil(r.Rows),
+		Notes: nonNil(r.Notes), Figures: nonNil(r.Figures),
+	})
+}

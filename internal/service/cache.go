@@ -1,0 +1,152 @@
+// Package service is the analysis-as-a-service layer behind cmd/addsd: a
+// content-addressed result cache with singleflight deduplication, a bounded
+// worker pool, HTTP handlers for the whole pipeline (analyze, software
+// pipelining, experiments), and a Prometheus-text observability surface.
+//
+// The cache key is the SHA-256 of the request's canonical encoding plus the
+// engine version (pathmatrix.EngineVersion), so a result can never outlive
+// the engine that produced it, and two requests differing only in field
+// order still share one entry.
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// Outcome classifies how a cache lookup was served.
+type Outcome int
+
+// Lookup outcomes. Coalesced requests joined an in-flight computation for
+// the same key: the analysis ran once for the whole group.
+const (
+	Hit Outcome = iota
+	Miss
+	Coalesced
+)
+
+// String names the outcome for the X-Cache response header.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Coalesced:
+		return "coalesced"
+	}
+	return "?"
+}
+
+// Key derives the content address for the given parts: SHA-256 over the
+// parts with NUL separators (parts are length-prefixed by the separator
+// discipline only; callers pass canonical encodings, never raw user input
+// containing NULs that must stay distinct from separators).
+func Key(parts ...string) string {
+	h := sha256.New()
+	for i, p := range parts {
+		if i > 0 {
+			h.Write([]byte{0})
+		}
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// flight is one in-progress computation that later identical requests join.
+type flight struct {
+	done    chan struct{}
+	val     []byte
+	err     error
+	waiters int
+}
+
+// entry is one cached result.
+type entry struct {
+	key string
+	val []byte
+}
+
+// Cache is a content-addressed LRU result cache with singleflight: at most
+// one computation per key runs at a time, concurrent identical requests
+// wait for it, and successful results are retained up to the entry bound.
+// Errors are never cached — a failed computation reruns on the next request.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	lru     *list.List // front = most recent; values are *entry
+	byKey   map[string]*list.Element
+	flights map[string]*flight
+}
+
+// NewCache returns a cache bounded to max entries (max < 1 keeps 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{
+		max:     max,
+		lru:     list.New(),
+		byKey:   map[string]*list.Element{},
+		flights: map[string]*flight{},
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// flightWaiters reports how many callers are blocked on the key's in-flight
+// computation (tests use it to make the singleflight race deterministic).
+func (c *Cache) flightWaiters(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flights[key]; ok {
+		return f.waiters
+	}
+	return 0
+}
+
+// Do returns the cached value for key, or computes it with load. Concurrent
+// calls with one key share a single load (singleflight); the caller that
+// ran it reports Miss, the ones that joined report Coalesced. The returned
+// bytes are shared — callers must not mutate them.
+func (c *Cache) Do(key string, load func() ([]byte, error)) ([]byte, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, Hit, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		f.waiters++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, Coalesced, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = load()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil {
+		c.byKey[key] = c.lru.PushFront(&entry{key: key, val: f.val})
+		for c.lru.Len() > c.max {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.byKey, oldest.Value.(*entry).key)
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, Miss, f.err
+}

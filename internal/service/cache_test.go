@@ -1,0 +1,149 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheHitSecondLookup(t *testing.T) {
+	c := NewCache(4)
+	calls := 0
+	load := func() ([]byte, error) { calls++; return []byte("result"), nil }
+
+	v, out, err := c.Do("k", load)
+	if err != nil || string(v) != "result" || out != Miss {
+		t.Fatalf("first Do = (%q, %v, %v), want (result, miss, nil)", v, out, err)
+	}
+	v, out, err = c.Do("k", load)
+	if err != nil || string(v) != "result" || out != Hit {
+		t.Fatalf("second Do = (%q, %v, %v), want (result, hit, nil)", v, out, err)
+	}
+	if calls != 1 {
+		t.Fatalf("loader ran %d times, want 1", calls)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	mk := func(s string) func() ([]byte, error) {
+		return func() ([]byte, error) { return []byte(s), nil }
+	}
+	c.Do("a", mk("A"))
+	c.Do("b", mk("B"))
+	c.Do("a", mk("A2")) // refresh a's recency: returns cached "A"
+	c.Do("c", mk("C"))  // evicts b, the least recently used
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, out, _ := c.Do("a", mk("A3")); out != Hit {
+		t.Errorf("a evicted, want retained")
+	}
+	if _, out, _ := c.Do("b", mk("B2")); out != Miss {
+		t.Errorf("b retained, want evicted")
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache(4)
+	calls := 0
+	boom := errors.New("boom")
+	load := func() ([]byte, error) { calls++; return nil, boom }
+	if _, _, err := c.Do("k", load); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, _, err := c.Do("k", load); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Fatalf("loader ran %d times, want 2 (errors must not be cached)", calls)
+	}
+}
+
+// TestCacheSingleflight proves N concurrent identical requests run the
+// computation once: the loader blocks until every other goroutine is
+// waiting on the flight, so the schedule cannot accidentally serialize.
+func TestCacheSingleflight(t *testing.T) {
+	const n = 8
+	c := NewCache(4)
+	var calls atomic.Int32
+	release := make(chan struct{})
+	load := func() ([]byte, error) {
+		calls.Add(1)
+		<-release
+		return []byte("once"), nil
+	}
+
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, out, err := c.Do("k", load)
+			if err != nil || string(v) != "once" {
+				t.Errorf("Do = (%q, %v), want (once, nil)", v, err)
+			}
+			outcomes[i] = out
+		}(i)
+	}
+	// Wait until the other n-1 goroutines joined the flight, then let the
+	// single loader finish.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.flightWaiters("k") < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d waiters joined the flight", c.flightWaiters("k"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("loader ran %d times for %d concurrent requests, want 1", got, n)
+	}
+	misses, coalesced := 0, 0
+	for _, out := range outcomes {
+		switch out {
+		case Miss:
+			misses++
+		case Coalesced:
+			coalesced++
+		}
+	}
+	if misses != 1 || coalesced != n-1 {
+		t.Fatalf("outcomes: %d misses, %d coalesced; want 1 and %d", misses, coalesced, n-1)
+	}
+}
+
+func TestKeyDistinguishesParts(t *testing.T) {
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Error("part boundaries must be part of the key")
+	}
+	if Key("a", "b") != Key("a", "b") {
+		t.Error("key not deterministic")
+	}
+}
+
+func TestCacheConcurrentDistinctKeys(t *testing.T) {
+	c := NewCache(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprint(i % 8)
+			v, _, err := c.Do(key, func() ([]byte, error) { return []byte(key), nil })
+			if err != nil || string(v) != key {
+				t.Errorf("Do(%q) = (%q, %v)", key, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", c.Len())
+	}
+}

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core/pathmatrix"
+)
+
+// Metrics collects the daemon's counters. Everything is monotone except the
+// gauges (inflight, cache entries, pool slots), and rendering is the
+// Prometheus text exposition format, so any scraper — or curl — can read it.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[[2]string]uint64 // {endpoint, code} -> count
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+
+	inflight atomic.Int64
+	latNanos atomic.Int64
+	latCount atomic.Uint64
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{requests: map[[2]string]uint64{}}
+}
+
+// ObserveRequest records one finished request.
+func (m *Metrics) ObserveRequest(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	m.requests[[2]string{endpoint, fmt.Sprint(code)}]++
+	m.mu.Unlock()
+	m.latNanos.Add(int64(d))
+	m.latCount.Add(1)
+}
+
+// ObserveCache records one cache lookup outcome.
+func (m *Metrics) ObserveCache(o Outcome) {
+	switch o {
+	case Hit:
+		m.hits.Add(1)
+	case Miss:
+		m.misses.Add(1)
+	case Coalesced:
+		m.coalesced.Add(1)
+	}
+}
+
+// CacheHits returns the hit counter (tests and the smoke job assert on it).
+func (m *Metrics) CacheHits() uint64 { return m.hits.Load() }
+
+// CacheMisses returns the miss counter.
+func (m *Metrics) CacheMisses() uint64 { return m.misses.Load() }
+
+// CacheCoalesced returns the singleflight-join counter.
+func (m *Metrics) CacheCoalesced() uint64 { return m.coalesced.Load() }
+
+// RequestStarted/RequestDone maintain the inflight gauge.
+func (m *Metrics) RequestStarted() { m.inflight.Add(1) }
+
+// RequestDone decrements the inflight gauge.
+func (m *Metrics) RequestDone() { m.inflight.Add(-1) }
+
+// WriteProm renders every counter in Prometheus text format. cacheLen and
+// poolInUse are read at scrape time; engine counters come from the
+// pathmatrix engine itself.
+func (m *Metrics) WriteProm(w io.Writer, cacheLen, poolInUse, poolCap int) {
+	fmt.Fprintf(w, "# HELP addsd_requests_total Requests served, by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE addsd_requests_total counter\n")
+	m.mu.Lock()
+	keys := make([][2]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "addsd_requests_total{endpoint=%q,code=%q} %d\n", k[0], k[1], m.requests[k])
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# TYPE addsd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "addsd_cache_hits_total %d\n", m.hits.Load())
+	fmt.Fprintf(w, "# TYPE addsd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "addsd_cache_misses_total %d\n", m.misses.Load())
+	fmt.Fprintf(w, "# TYPE addsd_cache_coalesced_total counter\n")
+	fmt.Fprintf(w, "addsd_cache_coalesced_total %d\n", m.coalesced.Load())
+	fmt.Fprintf(w, "# TYPE addsd_cache_entries gauge\n")
+	fmt.Fprintf(w, "addsd_cache_entries %d\n", cacheLen)
+
+	fmt.Fprintf(w, "# TYPE addsd_inflight_requests gauge\n")
+	fmt.Fprintf(w, "addsd_inflight_requests %d\n", m.inflight.Load())
+	fmt.Fprintf(w, "# TYPE addsd_pool_in_use gauge\n")
+	fmt.Fprintf(w, "addsd_pool_in_use %d\n", poolInUse)
+	fmt.Fprintf(w, "# TYPE addsd_pool_capacity gauge\n")
+	fmt.Fprintf(w, "addsd_pool_capacity %d\n", poolCap)
+
+	fmt.Fprintf(w, "# TYPE addsd_request_duration_seconds_sum counter\n")
+	fmt.Fprintf(w, "addsd_request_duration_seconds_sum %g\n",
+		time.Duration(m.latNanos.Load()).Seconds())
+	fmt.Fprintf(w, "# TYPE addsd_request_duration_seconds_count counter\n")
+	fmt.Fprintf(w, "addsd_request_duration_seconds_count %d\n", m.latCount.Load())
+
+	es := pathmatrix.ReadStats()
+	fmt.Fprintf(w, "# HELP addsd_engine_analyses_total Completed path-matrix analyses (process-wide).\n")
+	fmt.Fprintf(w, "# TYPE addsd_engine_analyses_total counter\n")
+	fmt.Fprintf(w, "addsd_engine_analyses_total %d\n", es.Analyses)
+	fmt.Fprintf(w, "# TYPE addsd_engine_iterations_total counter\n")
+	fmt.Fprintf(w, "addsd_engine_iterations_total %d\n", es.Iterations)
+	fmt.Fprintf(w, "# TYPE addsd_engine_widenings_total counter\n")
+	fmt.Fprintf(w, "addsd_engine_widenings_total %d\n", es.Widenings)
+	fmt.Fprintf(w, "# TYPE addsd_engine_interned_paths gauge\n")
+	fmt.Fprintf(w, "addsd_engine_interned_paths %d\n", es.InternedPaths)
+}

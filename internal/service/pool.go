@@ -1,0 +1,36 @@
+package service
+
+import "context"
+
+// pool bounds the number of analyses running at once. HTTP handlers acquire
+// a slot before computing (cache hits never touch the pool); a request whose
+// context expires while queued fails with the context's error instead of
+// piling onto a saturated process.
+type pool struct {
+	sem chan struct{}
+}
+
+func newPool(n int) *pool {
+	if n < 1 {
+		n = 1
+	}
+	return &pool{sem: make(chan struct{}, n)}
+}
+
+// acquire blocks until a slot is free or ctx is done.
+func (p *pool) acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *pool) release() { <-p.sem }
+
+// inUse returns the number of held slots (for the metrics gauge).
+func (p *pool) inUse() int { return len(p.sem) }
+
+// capacity returns the pool bound.
+func (p *pool) capacity() int { return cap(p.sem) }

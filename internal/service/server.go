@@ -1,0 +1,283 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"repro/adds"
+	"repro/internal/core/pathmatrix"
+	"repro/internal/exper"
+)
+
+// maxBodyBytes bounds request bodies; mini sources are small, and the cap
+// keeps a hostile client from ballooning the cache key hashing.
+const maxBodyBytes = 4 << 20
+
+// StatusClientClosedRequest reports a request whose context was cancelled
+// by the client (nginx's 499 convention; Go has no named constant).
+const StatusClientClosedRequest = 499
+
+// Config sizes the server. Zero values select the defaults.
+type Config struct {
+	CacheEntries   int           // bound on cached results (default 512)
+	Workers        int           // concurrent analyses (default GOMAXPROCS)
+	RequestTimeout time.Duration // per-request analysis budget (default 30s)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the addsd daemon core: handlers plus the cache, pool, and
+// metrics they share. Construct with New and mount Handler.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	pool    *pool
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheEntries),
+		pool:    newPool(cfg.Workers),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/pipeline", s.handlePipeline)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Metrics exposes the registry (cmd/addsd logs a summary on shutdown).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the daemon's root handler: the route mux wrapped with the
+// inflight/latency middleware.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.RequestStarted()
+		defer s.metrics.RequestDone()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		s.mux.ServeHTTP(sw, r)
+		s.metrics.ObserveRequest(endpointLabel(r.URL.Path), sw.code, time.Since(start))
+	})
+}
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// endpointLabel buckets paths into a bounded label set so metrics
+// cardinality cannot grow with traffic.
+func endpointLabel(path string) string {
+	switch {
+	case path == "/v1/analyze":
+		return "analyze"
+	case path == "/v1/pipeline":
+		return "pipeline"
+	case path == "/v1/experiments" || len(path) > len("/v1/experiments/") && path[:len("/v1/experiments/")] == "/v1/experiments/":
+		return "experiments"
+	case path == "/healthz":
+		return "healthz"
+	case path == "/metrics":
+		return "metrics"
+	case len(path) >= len("/debug/pprof") && path[:len("/debug/pprof")] == "/debug/pprof":
+		return "pprof"
+	}
+	return "other"
+}
+
+// errorBody is the JSON error envelope every endpoint shares.
+type errorBody struct {
+	Error string `json:"error"`
+	Line  int    `json:"line,omitempty"`
+	Col   int    `json:"col,omitempty"`
+}
+
+// writeError maps an error to its HTTP status and writes the envelope.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	body := errorBody{Error: err.Error()}
+	var se *adds.SourceError
+	switch {
+	case errors.As(err, &se):
+		code = http.StatusUnprocessableEntity
+		body.Line, body.Col = se.Line, se.Col
+	case errors.Is(err, ErrBadRequest), errors.Is(err, adds.ErrBadWidth):
+		code = http.StatusBadRequest
+	case errors.Is(err, adds.ErrUnknownFunction), errors.Is(err, adds.ErrNoSuchLoop),
+		errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		code = StatusClientClosedRequest
+	}
+	writeJSON(w, code, body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v) //nolint:errcheck // client gone is the only failure
+}
+
+// decodeBody parses a JSON request body into v.
+func decodeBody(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return fmt.Errorf("%w: reading body: %v", ErrBadRequest, err)
+	}
+	if len(body) > maxBodyBytes {
+		return fmt.Errorf("%w: body exceeds %d bytes", ErrBadRequest, maxBodyBytes)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// serveCached answers one POST endpoint through the content-addressed
+// cache: canonicalize the request, derive the key, and on miss run compute
+// under a pool slot and the request timeout. The cached value is the
+// marshaled response body, so hits cost one map lookup and one write.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, req any, compute func(ctx context.Context) (any, error)) {
+	canonical, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	key := Key(endpoint, pathmatrix.EngineVersion, string(canonical))
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	val, outcome, err := s.cache.Do(key, func() ([]byte, error) {
+		if err := s.pool.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.pool.release()
+		resp, err := compute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(resp)
+	})
+	s.metrics.ObserveCache(outcome)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", outcome.String())
+	w.WriteHeader(http.StatusOK)
+	w.Write(val) //nolint:errcheck
+	if len(val) == 0 || val[len(val)-1] != '\n' {
+		io.WriteString(w, "\n") //nolint:errcheck
+	}
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.serveCached(w, r, "analyze", &req, func(ctx context.Context) (any, error) {
+		return BuildAnalyze(ctx, &req)
+	})
+}
+
+func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
+	var req PipelineRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.serveCached(w, r, "pipeline", &req, func(ctx context.Context) (any, error) {
+		return BuildPipeline(ctx, &req)
+	})
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
+	defs := []ExperimentDef{}
+	for _, d := range adds.ExperimentDefs() {
+		defs = append(defs, ExperimentDef{ID: d.ID, Title: d.Title})
+	}
+	writeJSON(w, http.StatusOK, defs)
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Experiments take no input, so the id plus engine version is the whole
+	// content address.
+	s.serveCached(w, r, "experiment:"+id, struct{}{}, func(ctx context.Context) (any, error) {
+		var rep *exper.Report
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			rep = exper.ByID(id)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if rep == nil {
+			return nil, fmt.Errorf("%w: experiment %q (known: E1..E10)", ErrNotFound, id)
+		}
+		return rep, nil
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status": "ok",
+		"engine": pathmatrix.EngineVersion,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteProm(w, s.cache.Len(), s.pool.inUse(), s.pool.capacity())
+}

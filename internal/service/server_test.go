@@ -1,0 +1,455 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core/pathmatrix"
+)
+
+const shiftSrc = `
+type TwoWayLL [X] {
+    int data;
+    TwoWayLL *next is uniquely forward along X;
+    TwoWayLL *prev is backward along X;
+};
+void shift(TwoWayLL *hd) {
+    TwoWayLL *p;
+    p = hd->next;
+    while (p != NULL) {
+        p->data = p->data - hd->data;
+        p = p->next;
+    }
+}
+`
+
+// Mirror structs for decoding responses in tests.
+type matrixT struct {
+	Vars  []string `json:"vars"`
+	Cells []struct {
+		P    string `json:"p"`
+		Q    string `json:"q"`
+		Rels []struct {
+			Kind    string `json:"kind"`
+			Certain bool   `json:"certain"`
+			Path    string `json:"path"`
+		} `json:"rels"`
+	} `json:"cells"`
+	Valid bool `json:"valid"`
+}
+
+type analyzeRespT struct {
+	EngineVersion string `json:"engineVersion"`
+	Functions     []struct {
+		Name     string  `json:"name"`
+		Loops    int     `json:"loops"`
+		Exit     matrixT `json:"exitMatrix"`
+		LoopData []struct {
+			Index           int             `json:"index"`
+			Matrix          matrixT         `json:"matrix"`
+			Dependences     json.RawMessage `json:"dependences"`
+			CarriedMemEdges int             `json:"carriedMemEdges"`
+		} `json:"loopResults"`
+		Validation struct {
+			ValidEverywhere bool     `json:"validEverywhere"`
+			Intervals       []string `json:"intervals"`
+		} `json:"validation"`
+		Oracles []struct {
+			Oracle          string `json:"oracle"`
+			Loop            int    `json:"loop"`
+			CarriedMemEdges int    `json:"carriedMemEdges"`
+		} `json:"oracleComparison"`
+	} `json:"functions"`
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestAnalyzeHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Source: shiftSrc, Fn: "shift"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("X-Cache = %q, want miss", got)
+	}
+	var out analyzeRespT
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("bad response JSON: %v\n%s", err, data)
+	}
+	if out.EngineVersion != pathmatrix.EngineVersion {
+		t.Errorf("engineVersion = %q, want %q", out.EngineVersion, pathmatrix.EngineVersion)
+	}
+	if len(out.Functions) != 1 || out.Functions[0].Name != "shift" {
+		t.Fatalf("functions = %+v", out.Functions)
+	}
+	fn := out.Functions[0]
+	if fn.Loops != 1 || len(fn.LoopData) != 1 {
+		t.Fatalf("loops = %d, loopResults = %d", fn.Loops, len(fn.LoopData))
+	}
+	// The paper's fixed-point entry: PM(hd, p) = next+.
+	found := false
+	for _, c := range fn.LoopData[0].Matrix.Cells {
+		if c.P == "hd" && c.Q == "p" {
+			for _, r := range c.Rels {
+				if r.Kind == "path" && r.Path == "next+" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("PM(hd, p) = next+ missing from loop matrix")
+	}
+	if !fn.Validation.ValidEverywhere {
+		t.Errorf("shift should validate everywhere")
+	}
+	// GPM removes every carried memory dependence; conservative keeps some.
+	byOracle := map[string]int{}
+	for _, oc := range fn.Oracles {
+		byOracle[oc.Oracle] = oc.CarriedMemEdges
+	}
+	if byOracle["gpm"] != 0 {
+		t.Errorf("gpm carried mem edges = %d, want 0", byOracle["gpm"])
+	}
+	if byOracle["conservative"] == 0 {
+		t.Errorf("conservative carried mem edges = 0, want > 0")
+	}
+}
+
+func TestAnalyzeAllFunctionsSourceOrder(t *testing.T) {
+	src := shiftSrc + `
+void initlist(TwoWayLL *p) {
+    while (p != NULL) {
+        p->data = 0;
+        p = p->next;
+    }
+}
+`
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Source: src})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, data)
+	}
+	var out analyzeRespT
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Functions) != 2 || out.Functions[0].Name != "shift" || out.Functions[1].Name != "initlist" {
+		t.Fatalf("functions out of source order: %+v", out.Functions)
+	}
+}
+
+func TestAnalyzeMalformedBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestAnalyzeUnknownFunction(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Source: shiftSrc, Fn: "nope"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404; body %s", resp.StatusCode, data)
+	}
+}
+
+func TestAnalyzeSourceErrorHasPosition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Source: "void f() { x = ; }"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422; body %s", resp.StatusCode, data)
+	}
+	var body struct {
+		Error string `json:"error"`
+		Line  int    `json:"line"`
+		Col   int    `json:"col"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Line == 0 || body.Error == "" {
+		t.Errorf("source error missing position: %+v", body)
+	}
+}
+
+func TestAnalyzeUnknownOracle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Source: shiftSrc, Oracle: "psychic"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, data)
+	}
+}
+
+func TestAnalyzeTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	resp, data := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Source: shiftSrc, Fn: "shift"})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body %s", resp.StatusCode, data)
+	}
+}
+
+func TestAnalyzeCancelledContext(t *testing.T) {
+	s := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	body, _ := json.Marshal(AnalyzeRequest{Source: shiftSrc, Fn: "shift"})
+	req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("status = %d, want %d; body %s", rec.Code, StatusClientClosedRequest, rec.Body)
+	}
+}
+
+func TestAnalyzeCacheHitOnRepeat(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := AnalyzeRequest{Source: shiftSrc, Fn: "shift"}
+	resp1, data1 := postJSON(t, ts.URL+"/v1/analyze", req)
+	resp2, data2 := postJSON(t, ts.URL+"/v1/analyze", req)
+	if resp1.StatusCode != 200 || resp2.StatusCode != 200 {
+		t.Fatalf("statuses = %d, %d", resp1.StatusCode, resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("second X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Errorf("cached response differs from computed response")
+	}
+	if h := s.Metrics().CacheHits(); h != 1 {
+		t.Errorf("cache hits = %d, want 1", h)
+	}
+	if m := s.Metrics().CacheMisses(); m != 1 {
+		t.Errorf("cache misses = %d, want 1", m)
+	}
+}
+
+// TestAnalyzeConcurrentIdenticalRequests drives N identical requests
+// through the HTTP layer at once: whatever mix of coalesced waits and cache
+// hits the schedule produces, the analysis itself must run exactly once
+// (exactly one miss).
+func TestAnalyzeConcurrentIdenticalRequests(t *testing.T) {
+	const n = 8
+	s, ts := newTestServer(t, Config{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, data := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Source: shiftSrc})
+			if resp.StatusCode != 200 {
+				t.Errorf("status = %d, body %s", resp.StatusCode, data)
+			}
+		}()
+	}
+	wg.Wait()
+	if m := s.Metrics().CacheMisses(); m != 1 {
+		t.Errorf("cache misses = %d, want 1 (analysis must run once)", m)
+	}
+	total := s.Metrics().CacheMisses() + s.Metrics().CacheHits() + s.Metrics().CacheCoalesced()
+	if total != n {
+		t.Errorf("outcomes = %d, want %d", total, n)
+	}
+}
+
+func TestPipelineHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/pipeline",
+		PipelineRequest{Source: shiftSrc, Fn: "shift", Loop: 0, Width: 8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Info struct {
+			II        int     `json:"ii"`
+			Theoretic float64 `json:"theoreticalSpeedup"`
+			OK        bool    `json:"ok"`
+		} `json:"info"`
+		VLIW string `json:"vliw"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Info.OK || out.Info.Theoretic != 5.0 {
+		t.Errorf("info = %+v, want ok with theoretical speedup 5", out.Info)
+	}
+	if !strings.Contains(out.VLIW, "kernel") {
+		t.Errorf("vliw missing kernel:\n%s", out.VLIW)
+	}
+}
+
+func TestPipelineNoSuchLoop(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/pipeline",
+		PipelineRequest{Source: shiftSrc, Fn: "shift", Loop: 7})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404; body %s", resp.StatusCode, data)
+	}
+}
+
+func TestPipelineBadWidth(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/pipeline",
+		PipelineRequest{Source: shiftSrc, Fn: "shift", Width: -3})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, data)
+	}
+}
+
+func TestExperimentEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var defs []ExperimentDef
+	if err := json.NewDecoder(resp.Body).Decode(&defs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(defs) != 10 || defs[0].ID != "E1" {
+		t.Fatalf("defs = %+v", defs)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/experiments/E4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		ID      string     `json:"id"`
+		Rows    [][]string `json:"rows"`
+		Figures []string   `json:"figures"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rep.ID != "E4" || len(rep.Figures) == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/experiments/E99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown experiment status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" || body["engine"] != pathmatrix.EngineVersion {
+		t.Fatalf("body = %v", body)
+	}
+}
+
+func TestMetricsScrape(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := AnalyzeRequest{Source: shiftSrc, Fn: "shift"}
+	postJSON(t, ts.URL+"/v1/analyze", req)
+	postJSON(t, ts.URL+"/v1/analyze", req)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	text := string(data)
+	for _, want := range []string{
+		"addsd_requests_total{endpoint=\"analyze\",code=\"200\"} 2",
+		"addsd_cache_hits_total 1",
+		"addsd_cache_misses_total 1",
+		"addsd_cache_entries 1",
+		"addsd_inflight_requests",
+		"addsd_request_duration_seconds_count 2",
+		"addsd_engine_analyses_total",
+		"addsd_pool_capacity",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestPprofLive(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof status = %d", resp.StatusCode)
+	}
+}
+
+func TestEndpointLabelBounded(t *testing.T) {
+	cases := map[string]string{
+		"/v1/analyze":        "analyze",
+		"/v1/pipeline":       "pipeline",
+		"/v1/experiments":    "experiments",
+		"/v1/experiments/E4": "experiments",
+		"/healthz":           "healthz",
+		"/metrics":           "metrics",
+		"/debug/pprof/heap":  "pprof",
+		"/anything/else":     "other",
+	}
+	for path, want := range cases {
+		if got := endpointLabel(path); got != want {
+			t.Errorf("endpointLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/adds"
+	"repro/internal/core/pathmatrix"
+)
+
+// ErrBadRequest classifies request-shape failures (unknown oracle, missing
+// fields) that are not typed facade errors; handlers map it to 400.
+var ErrBadRequest = errors.New("bad request")
+
+// ErrNotFound classifies lookups of resources outside the registry (an
+// unknown experiment id); handlers map it to 404.
+var ErrNotFound = errors.New("not found")
+
+// AnalyzeRequest asks for path matrix analysis of one function (Fn set) or
+// every function of the source. The zero values select the defaults the
+// CLIs use: the GPM oracle, one worker per CPU.
+type AnalyzeRequest struct {
+	Source  string `json:"source"`
+	Fn      string `json:"fn,omitempty"`
+	Oracle  string `json:"oracle,omitempty"` // gpm (default), classic, conservative, klimit
+	K       int    `json:"k,omitempty"`      // k for the klimit oracle
+	Workers int    `json:"workers,omitempty"`
+}
+
+// LoopResult is the per-loop slice of an analysis: the fixed-point matrix,
+// the primed iteration matrix, and the dependence graph under the selected
+// oracle.
+type LoopResult struct {
+	Index           int            `json:"index"`
+	Matrix          *adds.Matrix   `json:"matrix"`
+	Iteration       *adds.Matrix   `json:"iteration"`
+	Dependences     *adds.DepGraph `json:"dependences"`
+	CarriedMemEdges int            `json:"carriedMemEdges"`
+}
+
+// OracleComparison reports, per loop, how many carried memory dependences
+// each oracle leaves — the paper's headline comparison.
+type OracleComparison struct {
+	Oracle          string `json:"oracle"`
+	Loop            int    `json:"loop"`
+	CarriedMemEdges int    `json:"carriedMemEdges"`
+}
+
+// ValidationResult summarizes the Section 5.1.1 abstraction validation.
+type ValidationResult struct {
+	ValidEverywhere bool     `json:"validEverywhere"`
+	Intervals       []string `json:"intervals"`
+}
+
+// FunctionResult is one function's analysis artifacts.
+type FunctionResult struct {
+	Name       string             `json:"name"`
+	Loops      int                `json:"loops"`
+	Entry      *adds.Matrix       `json:"entryMatrix"`
+	Exit       *adds.Matrix       `json:"exitMatrix"`
+	LoopData   []LoopResult       `json:"loopResults"`
+	Validation ValidationResult   `json:"validation"`
+	Oracles    []OracleComparison `json:"oracleComparison"`
+}
+
+// AnalyzeResponse is the full analysis answer, stamped with the engine
+// version that produced it.
+type AnalyzeResponse struct {
+	EngineVersion string           `json:"engineVersion"`
+	Functions     []FunctionResult `json:"functions"`
+}
+
+// PipelineRequest asks for initiation-interval bounds and the pipelined
+// VLIW schedule of one loop.
+type PipelineRequest struct {
+	Source string `json:"source"`
+	Fn     string `json:"fn"`
+	Loop   int    `json:"loop"`
+	Width  int    `json:"width,omitempty"` // default 8
+	Oracle string `json:"oracle,omitempty"`
+	K      int    `json:"k,omitempty"`
+}
+
+// PipelineResponse carries the II bounds and, when the loop pipelines, the
+// bundled VLIW code. A legal-but-unpipelinable loop is not an HTTP error:
+// PipelineError says why and VLIW stays empty.
+type PipelineResponse struct {
+	EngineVersion string            `json:"engineVersion"`
+	Fn            string            `json:"fn"`
+	Loop          int               `json:"loop"`
+	Width         int               `json:"width"`
+	Info          adds.PipelineInfo `json:"info"`
+	VLIW          string            `json:"vliw,omitempty"`
+	PipelineError string            `json:"pipelineError,omitempty"`
+}
+
+// ExperimentDef is one registry row of GET /v1/experiments.
+type ExperimentDef struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// oracleFor resolves the request's oracle selection against an analysis.
+func oracleFor(an *adds.Analysis, name string, k int) (adds.Oracle, error) {
+	kind, err := adds.ParseOracle(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	switch kind {
+	case adds.Classic:
+		return an.ClassicOracle(), nil
+	case adds.Conservative:
+		return an.ConservativeOracle(), nil
+	case adds.KLimited:
+		if k <= 0 {
+			k = 2
+		}
+		return an.KLimitedOracle(k), nil
+	}
+	return an.GPMOracle(), nil
+}
+
+// BuildAnalyze runs the analysis an AnalyzeRequest describes and assembles
+// the response. It is the single implementation behind POST /v1/analyze and
+// addsc -format json, so the daemon and the CLI can never drift apart.
+func BuildAnalyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResponse, error) {
+	if _, err := adds.ParseOracle(req.Oracle); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	unit, err := adds.Load([]byte(req.Source))
+	if err != nil {
+		return nil, err
+	}
+
+	var names []string
+	analyses := map[string]*adds.Analysis{}
+	if req.Fn != "" {
+		an, err := unit.AnalyzeOpt(ctx, req.Fn)
+		if err != nil {
+			return nil, err
+		}
+		names = []string{req.Fn}
+		analyses[req.Fn] = an
+	} else {
+		analyses, err = unit.AnalyzeAllOpt(ctx, adds.WithWorkers(req.Workers))
+		if err != nil {
+			return nil, err
+		}
+		for _, fd := range unit.Prog.Funcs {
+			names = append(names, fd.Name)
+		}
+	}
+
+	resp := &AnalyzeResponse{EngineVersion: pathmatrix.EngineVersion, Functions: []FunctionResult{}}
+	for _, name := range names {
+		an := analyses[name]
+		oracle, err := oracleFor(an, req.Oracle, req.K)
+		if err != nil {
+			return nil, err
+		}
+		fr := FunctionResult{
+			Name:     name,
+			Loops:    an.Loops(),
+			Entry:    an.EntryMatrix(),
+			Exit:     an.ExitMatrix(),
+			LoopData: []LoopResult{},
+			Oracles:  []OracleComparison{},
+		}
+		val := an.Validation()
+		fr.Validation = ValidationResult{ValidEverywhere: val.ValidEverywhere(), Intervals: []string{}}
+		for _, iv := range val.Intervals() {
+			fr.Validation.Intervals = append(fr.Validation.Intervals, iv.String())
+		}
+		for i := 0; i < an.Loops(); i++ {
+			dg := an.Dependences(i, oracle)
+			fr.LoopData = append(fr.LoopData, LoopResult{
+				Index:           i,
+				Matrix:          an.LoopMatrix(i),
+				Iteration:       an.IterationMatrix(i),
+				Dependences:     dg,
+				CarriedMemEdges: len(dg.CarriedMemEdges()),
+			})
+			for _, cmp := range []adds.OracleKind{adds.Conservative, adds.Classic, adds.GPM} {
+				o, err := oracleFor(an, cmp.String(), req.K)
+				if err != nil {
+					return nil, err
+				}
+				fr.Oracles = append(fr.Oracles, OracleComparison{
+					Oracle:          cmp.String(),
+					Loop:            i,
+					CarriedMemEdges: len(an.Dependences(i, o).CarriedMemEdges()),
+				})
+			}
+		}
+		resp.Functions = append(resp.Functions, fr)
+	}
+	return resp, nil
+}
+
+// BuildPipeline runs the pipelining analysis a PipelineRequest describes.
+// Shared by POST /v1/pipeline and addsc -format json -show pipeline.
+func BuildPipeline(ctx context.Context, req *PipelineRequest) (*PipelineResponse, error) {
+	if req.Fn == "" {
+		return nil, fmt.Errorf("%w: missing fn", ErrBadRequest)
+	}
+	width := req.Width
+	if width == 0 {
+		width = 8
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("adds: %w: %d", adds.ErrBadWidth, width)
+	}
+	unit, err := adds.Load([]byte(req.Source))
+	if err != nil {
+		return nil, err
+	}
+	an, err := unit.AnalyzeOpt(ctx, req.Fn)
+	if err != nil {
+		return nil, err
+	}
+	if err := an.CheckLoop(req.Loop); err != nil {
+		return nil, err
+	}
+	oracle, err := oracleFor(an, req.Oracle, req.K)
+	if err != nil {
+		return nil, err
+	}
+	// The raw-loop II bounds under the requested oracle; replaced by the
+	// emitted schedule's info when the full paper transformation succeeds.
+	resp := &PipelineResponse{
+		EngineVersion: pathmatrix.EngineVersion,
+		Fn:            req.Fn, Loop: req.Loop, Width: width,
+		Info: an.AnalyzePipeline(req.Loop, oracle, width),
+	}
+	prog, info, err := an.Pipeline(req.Loop, width)
+	switch {
+	case errors.Is(err, adds.ErrBadWidth) || errors.Is(err, adds.ErrNoSuchLoop):
+		return nil, err
+	case err != nil:
+		resp.PipelineError = err.Error()
+	default:
+		resp.Info = info
+		resp.VLIW = prog.String()
+	}
+	return resp, nil
+}

@@ -1,0 +1,31 @@
+package xform
+
+import "encoding/json"
+
+// pipelineInfoJSON is the wire form of a PipelineInfo. Carried memory
+// dependences are rendered as their display strings; the structured edges
+// are available through the dependence-graph encoding when needed.
+type pipelineInfoJSON struct {
+	BodyOps    int      `json:"bodyOps"`
+	ResMII     int      `json:"resMII"`
+	RecMII     int      `json:"recMII"`
+	II         int      `json:"ii"`
+	Stages     int      `json:"stages"`
+	Theoretic  float64  `json:"theoreticalSpeedup"`
+	CarriedMem []string `json:"carriedMem"`
+	OK         bool     `json:"ok"`
+}
+
+// MarshalJSON renders the pipelining analysis in the encoding shared by
+// addsd responses and addsc -format json.
+func (i PipelineInfo) MarshalJSON() ([]byte, error) {
+	out := pipelineInfoJSON{
+		BodyOps: i.BodyOps, ResMII: i.ResMII, RecMII: i.RecMII,
+		II: i.II, Stages: i.Stages, Theoretic: i.Theoretic,
+		CarriedMem: []string{}, OK: i.OK,
+	}
+	for _, e := range i.CarriedMem {
+		out.CarriedMem = append(out.CarriedMem, e.String())
+	}
+	return json.Marshal(out)
+}
