@@ -10,6 +10,12 @@
 //	curl -s localhost:7117/healthz
 //	jq -Rs '{source: .}' prog.mini | curl -s -d @- localhost:7117/v1/analyze
 //
+// Concurrent identical requests coalesce onto one detached computation
+// whose lifetime is independent of any single client: a disconnecting
+// client never fails its coalesced peers. Under overload, a bounded
+// admission queue sheds excess requests with 429 + Retry-After instead of
+// stacking goroutines.
+//
 // Observability: GET /metrics (Prometheus text format), GET /healthz, and
 // the standard /debug/pprof endpoints.
 package main
@@ -43,7 +49,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	addr := fs.String("addr", "127.0.0.1:7117", "listen address")
 	cacheEntries := fs.Int("cache", 512, "maximum cached results")
 	workers := fs.Int("workers", 0, "concurrent analyses (0 = one per CPU)")
-	timeout := fs.Duration("timeout", 30*time.Second, "per-request analysis budget")
+	queue := fs.Int("queue", 0, "analyses queued for a worker before shedding with 429 (0 = 4x workers, negative = no queue)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-analysis budget (bounds the shared flight, not one client's wait)")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	svc := service.New(service.Config{
 		CacheEntries:   *cacheEntries,
 		Workers:        *workers,
+		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
 	})
 

@@ -85,6 +85,30 @@ func TestDaemonServesAndDrains(t *testing.T) {
 	}
 }
 
+// TestDaemonQueueFlag: -queue -1 disables the admission queue, visible as
+// a zero queue capacity on the scrape alongside the shed counter.
+func TestDaemonQueueFlag(t *testing.T) {
+	base, shutdown := startDaemon(t, "-queue", "-1", "-workers", "2")
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"addsd_queue_capacity 0",
+		"addsd_pool_capacity 2",
+		"addsd_shed_total 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	if code, out := shutdown(); code != 0 {
+		t.Fatalf("exit code %d; output:\n%s", code, out)
+	}
+}
+
 func TestDaemonBadFlags(t *testing.T) {
 	var out bytes.Buffer
 	if code := run([]string{"-nonsense"}, &out, &out, nil); code != 2 {

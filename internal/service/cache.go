@@ -1,7 +1,8 @@
 // Package service is the analysis-as-a-service layer behind cmd/addsd: a
 // content-addressed result cache with singleflight deduplication, a bounded
-// worker pool, HTTP handlers for the whole pipeline (analyze, software
-// pipelining, experiments), and a Prometheus-text observability surface.
+// worker pool behind an admission queue, HTTP handlers for the whole
+// pipeline (analyze, software pipelining, experiments), and a
+// Prometheus-text observability surface.
 //
 // The cache key is the SHA-256 of the request's canonical encoding plus the
 // engine version (pathmatrix.EngineVersion), so a result can never outlive
@@ -11,9 +12,11 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"sync"
+	"time"
 )
 
 // Outcome classifies how a cache lookup was served.
@@ -56,11 +59,16 @@ func Key(parts ...string) string {
 }
 
 // flight is one in-progress computation that later identical requests join.
+// The computation runs in its own goroutine on a context detached from any
+// requester, bounded only by the cache's flight timeout and the reference
+// count: refs counts the live waiters (leader included), and the last
+// waiter to abandon the flight cancels the computation.
 type flight struct {
-	done    chan struct{}
-	val     []byte
-	err     error
-	waiters int
+	done   chan struct{} // closed after val/err are set
+	cancel context.CancelFunc
+	val    []byte // write-once before close(done)
+	err    error  // write-once before close(done)
+	refs   int    // guarded by Cache.mu
 }
 
 // entry is one cached result.
@@ -73,12 +81,22 @@ type entry struct {
 // one computation per key runs at a time, concurrent identical requests
 // wait for it, and successful results are retained up to the entry bound.
 // Errors are never cached — a failed computation reruns on the next request.
+//
+// Flights are cancellation-safe: the computation runs on a detached context
+// bounded by FlightTimeout, so one waiter's cancellation (a disconnected
+// client) never poisons the result for the others. Each waiter selects on
+// its own context and leaves with its own error; only when the last waiter
+// leaves is the shared computation cancelled.
 type Cache struct {
 	mu      sync.Mutex
 	max     int
 	lru     *list.List // front = most recent; values are *entry
 	byKey   map[string]*list.Element
 	flights map[string]*flight
+
+	// FlightTimeout bounds each detached computation (zero = unbounded).
+	// Set once before the first Do; the server wires it to RequestTimeout.
+	FlightTimeout time.Duration
 }
 
 // NewCache returns a cache bounded to max entries (max < 1 keeps 1).
@@ -101,22 +119,37 @@ func (c *Cache) Len() int {
 	return c.lru.Len()
 }
 
-// flightWaiters reports how many callers are blocked on the key's in-flight
-// computation (tests use it to make the singleflight race deterministic).
-func (c *Cache) flightWaiters(key string) int {
+// flightRefs reports how many live waiters (leader included) the key's
+// in-flight computation has (tests use it to make races deterministic).
+func (c *Cache) flightRefs(key string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if f, ok := c.flights[key]; ok {
-		return f.waiters
+		return f.refs
 	}
 	return 0
 }
 
 // Do returns the cached value for key, or computes it with load. Concurrent
 // calls with one key share a single load (singleflight); the caller that
-// ran it reports Miss, the ones that joined report Coalesced. The returned
-// bytes are shared — callers must not mutate them.
-func (c *Cache) Do(key string, load func() ([]byte, error)) ([]byte, Outcome, error) {
+// started it reports Miss, the ones that joined report Coalesced. The
+// returned bytes are shared — callers must not mutate them.
+//
+// load runs in a detached goroutine on a context bounded by FlightTimeout,
+// never by ctx: if this caller's ctx expires, Do returns ctx.Err() for this
+// caller only, and the computation keeps serving the remaining waiters.
+// When the last waiter leaves, the flight's context is cancelled so a
+// cooperative load stops early; a load that ignores cancellation still has
+// its successful result cached for the next identical request.
+//
+// onRefs, when non-nil, observes every waiter join (+1) and leave (-1) of
+// the flight this call participates in — the server feeds it the
+// per-endpoint flight-refcount gauge.
+func (c *Cache) Do(ctx context.Context, key string, load func(context.Context) ([]byte, error), onRefs func(delta int)) ([]byte, Outcome, error) {
+	// A dead request must not start (or hold a reference on) a flight.
+	if err := ctx.Err(); err != nil {
+		return nil, Miss, err
+	}
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.lru.MoveToFront(el)
@@ -125,28 +158,93 @@ func (c *Cache) Do(key string, load func() ([]byte, error)) ([]byte, Outcome, er
 		return val, Hit, nil
 	}
 	if f, ok := c.flights[key]; ok {
-		f.waiters++
+		f.refs++
 		c.mu.Unlock()
-		<-f.done
-		return f.val, Coalesced, f.err
+		if onRefs != nil {
+			onRefs(1)
+		}
+		return c.wait(ctx, key, f, Coalesced, onRefs)
 	}
-	f := &flight{done: make(chan struct{})}
+	fctx, cancel := c.flightContext()
+	f := &flight{done: make(chan struct{}), cancel: cancel, refs: 1}
 	c.flights[key] = f
 	c.mu.Unlock()
+	if onRefs != nil {
+		onRefs(1)
+	}
+	go c.runFlight(key, f, fctx, load)
+	return c.wait(ctx, key, f, Miss, onRefs)
+}
 
-	f.val, f.err = load()
+// flightContext builds the detached context one computation runs under.
+func (c *Cache) flightContext() (context.Context, context.CancelFunc) {
+	if c.FlightTimeout > 0 {
+		return context.WithTimeout(context.Background(), c.FlightTimeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// runFlight executes one detached computation and publishes its result.
+func (c *Cache) runFlight(key string, f *flight, fctx context.Context, load func(context.Context) ([]byte, error)) {
+	defer f.cancel() // release the timeout's timer
+	val, err := load(fctx)
 
 	c.mu.Lock()
-	delete(c.flights, key)
-	if f.err == nil {
-		c.byKey[key] = c.lru.PushFront(&entry{key: key, val: f.val})
-		for c.lru.Len() > c.max {
-			oldest := c.lru.Back()
-			c.lru.Remove(oldest)
-			delete(c.byKey, oldest.Value.(*entry).key)
+	// The guard matters when every waiter left early: wait() already
+	// unlinked this flight so a fresh request could start over, and the
+	// key may now map to a successor flight that must not be removed.
+	if c.flights[key] == f {
+		delete(c.flights, key)
+	}
+	f.val, f.err = val, err
+	if err == nil {
+		// An abandoned flight can race a successor for the same key: keep
+		// whichever result landed first rather than double-inserting.
+		if el, ok := c.byKey[key]; ok {
+			c.lru.MoveToFront(el)
+		} else {
+			c.byKey[key] = c.lru.PushFront(&entry{key: key, val: val})
+			for c.lru.Len() > c.max {
+				oldest := c.lru.Back()
+				c.lru.Remove(oldest)
+				delete(c.byKey, oldest.Value.(*entry).key)
+			}
 		}
 	}
 	c.mu.Unlock()
 	close(f.done)
-	return f.val, Miss, f.err
+}
+
+// wait blocks one caller on the flight, selecting on the caller's own
+// context: a cancelled waiter gets its own ctx.Err() immediately and the
+// flight keeps running for the rest — unless this waiter was the last one,
+// in which case it cancels the computation on the way out.
+func (c *Cache) wait(ctx context.Context, key string, f *flight, outcome Outcome, onRefs func(delta int)) ([]byte, Outcome, error) {
+	select {
+	case <-f.done:
+		c.mu.Lock()
+		f.refs--
+		c.mu.Unlock()
+		if onRefs != nil {
+			onRefs(-1)
+		}
+		return f.val, outcome, f.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		f.refs--
+		last := f.refs == 0
+		if last && c.flights[key] == f {
+			// Unlink now so the next identical request starts a fresh
+			// flight instead of joining this dying one.
+			delete(c.flights, key)
+		}
+		c.mu.Unlock()
+		if onRefs != nil {
+			onRefs(-1)
+		}
+		if last {
+			f.cancel()
+		}
+		return nil, outcome, ctx.Err()
+	}
 }

@@ -15,12 +15,15 @@ import (
 // gauges (inflight, cache entries, pool slots), and rendering is the
 // Prometheus text exposition format, so any scraper — or curl — can read it.
 type Metrics struct {
-	mu       sync.Mutex
-	requests map[[2]string]uint64 // {endpoint, code} -> count
+	mu         sync.Mutex
+	requests   map[[2]string]uint64 // {endpoint, code} -> count
+	shedBy     map[string]uint64    // endpoint -> shed count
+	flightRefs map[string]int64     // endpoint -> live flight waiters
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	coalesced atomic.Uint64
+	shed      atomic.Uint64
 
 	inflight atomic.Int64
 	latNanos atomic.Int64
@@ -29,7 +32,11 @@ type Metrics struct {
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{requests: map[[2]string]uint64{}}
+	return &Metrics{
+		requests:   map[[2]string]uint64{},
+		shedBy:     map[string]uint64{},
+		flightRefs: map[string]int64{},
+	}
 }
 
 // ObserveRequest records one finished request.
@@ -62,16 +69,56 @@ func (m *Metrics) CacheMisses() uint64 { return m.misses.Load() }
 // CacheCoalesced returns the singleflight-join counter.
 func (m *Metrics) CacheCoalesced() uint64 { return m.coalesced.Load() }
 
+// ObserveShed records one request shed by the admission queue.
+func (m *Metrics) ObserveShed(endpoint string) {
+	m.shed.Add(1)
+	m.mu.Lock()
+	m.shedBy[endpoint]++
+	m.mu.Unlock()
+}
+
+// ShedTotal returns the process-wide shed counter (the overload tests and
+// the smoke job assert on it).
+func (m *Metrics) ShedTotal() uint64 { return m.shed.Load() }
+
+// FlightRefs moves the endpoint's flight-refcount gauge: +1 when a request
+// joins (or starts) a flight, -1 when it leaves. The cache calls it through
+// the per-endpoint hook the server installs.
+func (m *Metrics) FlightRefs(endpoint string, delta int) {
+	m.mu.Lock()
+	m.flightRefs[endpoint] += int64(delta)
+	m.mu.Unlock()
+}
+
+// FlightRefsFor reads the endpoint's flight-refcount gauge (tests use it to
+// sequence waiters deterministically and to prove refs drain to zero).
+func (m *Metrics) FlightRefsFor(endpoint string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.flightRefs[endpoint]
+}
+
 // RequestStarted/RequestDone maintain the inflight gauge.
 func (m *Metrics) RequestStarted() { m.inflight.Add(1) }
 
 // RequestDone decrements the inflight gauge.
 func (m *Metrics) RequestDone() { m.inflight.Add(-1) }
 
+// sortedKeys returns the map's keys in sorted order so scrapes are
+// deterministic.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // WriteProm renders every counter in Prometheus text format. cacheLen and
-// poolInUse are read at scrape time; engine counters come from the
-// pathmatrix engine itself.
-func (m *Metrics) WriteProm(w io.Writer, cacheLen, poolInUse, poolCap int) {
+// the pool/queue gauges are read at scrape time; engine counters come from
+// the pathmatrix engine itself.
+func (m *Metrics) WriteProm(w io.Writer, cacheLen, poolInUse, poolCap, queued, queueCap int) {
 	fmt.Fprintf(w, "# HELP addsd_requests_total Requests served, by endpoint and status code.\n")
 	fmt.Fprintf(w, "# TYPE addsd_requests_total counter\n")
 	m.mu.Lock()
@@ -99,12 +146,31 @@ func (m *Metrics) WriteProm(w io.Writer, cacheLen, poolInUse, poolCap int) {
 	fmt.Fprintf(w, "# TYPE addsd_cache_entries gauge\n")
 	fmt.Fprintf(w, "addsd_cache_entries %d\n", cacheLen)
 
+	fmt.Fprintf(w, "# HELP addsd_shed_total Requests shed by the admission queue (429).\n")
+	fmt.Fprintf(w, "# TYPE addsd_shed_total counter\n")
+	fmt.Fprintf(w, "addsd_shed_total %d\n", m.shed.Load())
+	m.mu.Lock()
+	fmt.Fprintf(w, "# TYPE addsd_endpoint_shed_total counter\n")
+	for _, k := range sortedKeys(m.shedBy) {
+		fmt.Fprintf(w, "addsd_endpoint_shed_total{endpoint=%q} %d\n", k, m.shedBy[k])
+	}
+	fmt.Fprintf(w, "# HELP addsd_flight_refs Live waiters per endpoint across in-flight computations.\n")
+	fmt.Fprintf(w, "# TYPE addsd_flight_refs gauge\n")
+	for _, k := range sortedKeys(m.flightRefs) {
+		fmt.Fprintf(w, "addsd_flight_refs{endpoint=%q} %d\n", k, m.flightRefs[k])
+	}
+	m.mu.Unlock()
+
 	fmt.Fprintf(w, "# TYPE addsd_inflight_requests gauge\n")
 	fmt.Fprintf(w, "addsd_inflight_requests %d\n", m.inflight.Load())
 	fmt.Fprintf(w, "# TYPE addsd_pool_in_use gauge\n")
 	fmt.Fprintf(w, "addsd_pool_in_use %d\n", poolInUse)
 	fmt.Fprintf(w, "# TYPE addsd_pool_capacity gauge\n")
 	fmt.Fprintf(w, "addsd_pool_capacity %d\n", poolCap)
+	fmt.Fprintf(w, "# TYPE addsd_queue_depth gauge\n")
+	fmt.Fprintf(w, "addsd_queue_depth %d\n", queued)
+	fmt.Fprintf(w, "# TYPE addsd_queue_capacity gauge\n")
+	fmt.Fprintf(w, "addsd_queue_capacity %d\n", queueCap)
 
 	fmt.Fprintf(w, "# TYPE addsd_request_duration_seconds_sum counter\n")
 	fmt.Fprintf(w, "addsd_request_duration_seconds_sum %g\n",

@@ -1,36 +1,79 @@
 package service
 
-import "context"
+import (
+	"context"
+	"errors"
+)
 
-// pool bounds the number of analyses running at once. HTTP handlers acquire
-// a slot before computing (cache hits never touch the pool); a request whose
-// context expires while queued fails with the context's error instead of
-// piling onto a saturated process.
+// ErrOverloaded reports that the admission queue in front of the worker
+// pool is full: the caller is shed immediately (HTTP 429 + Retry-After)
+// instead of stacking another goroutine onto a saturated process.
+var ErrOverloaded = errors.New("service overloaded")
+
+// pool bounds the number of analyses running at once, with a bounded
+// admission queue in front of the run slots. Flights acquire a slot before
+// computing (cache hits and coalesced waiters never touch the pool). A
+// flight first claims an admission ticket — of which there are
+// workers+queue — failing fast with ErrOverloaded when none is free, then
+// waits for a run slot or its context. The ticket bound is what keeps an
+// overload from accumulating blocked goroutines: at most queue flights are
+// ever waiting.
 type pool struct {
-	sem chan struct{}
+	sem     chan struct{} // run slots: cap = workers
+	tickets chan struct{} // admission: cap = workers + queue depth
 }
 
-func newPool(n int) *pool {
-	if n < 1 {
-		n = 1
+func newPool(workers, queue int) *pool {
+	if workers < 1 {
+		workers = 1
 	}
-	return &pool{sem: make(chan struct{}, n)}
+	if queue < 0 {
+		queue = 0
+	}
+	return &pool{
+		sem:     make(chan struct{}, workers),
+		tickets: make(chan struct{}, workers+queue),
+	}
 }
 
-// acquire blocks until a slot is free or ctx is done.
+// acquire admits the caller and blocks until a run slot is free or ctx is
+// done. When the admission queue is already full it returns ErrOverloaded
+// without blocking at all.
 func (p *pool) acquire(ctx context.Context) error {
+	select {
+	case p.tickets <- struct{}{}:
+	default:
+		return ErrOverloaded
+	}
 	select {
 	case p.sem <- struct{}{}:
 		return nil
 	case <-ctx.Done():
+		<-p.tickets
 		return ctx.Err()
 	}
 }
 
-func (p *pool) release() { <-p.sem }
+func (p *pool) release() {
+	<-p.sem
+	<-p.tickets
+}
 
-// inUse returns the number of held slots (for the metrics gauge).
+// inUse returns the number of held run slots (for the metrics gauge).
 func (p *pool) inUse() int { return len(p.sem) }
 
-// capacity returns the pool bound.
+// capacity returns the run-slot bound.
 func (p *pool) capacity() int { return cap(p.sem) }
+
+// queued returns the number of admitted flights still waiting for a run
+// slot. release drops the slot before the ticket, so the difference can
+// transiently overshoot; clamp at zero for the gauge.
+func (p *pool) queued() int {
+	if n := len(p.tickets) - len(p.sem); n > 0 {
+		return n
+	}
+	return 0
+}
+
+// queueCapacity returns the admission-queue bound (tickets beyond slots).
+func (p *pool) queueCapacity() int { return cap(p.tickets) - cap(p.sem) }

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPoolAcquireRelease(t *testing.T) {
+	p := newPool(2, 0)
+	ctx := context.Background()
+	if err := p.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.inUse(); got != 2 {
+		t.Fatalf("inUse = %d, want 2", got)
+	}
+	p.release()
+	p.release()
+	if got := p.inUse(); got != 0 {
+		t.Fatalf("inUse = %d, want 0", got)
+	}
+	if p.capacity() != 2 || p.queueCapacity() != 0 {
+		t.Fatalf("capacity = %d/%d, want 2/0", p.capacity(), p.queueCapacity())
+	}
+}
+
+func TestPoolShedsWhenQueueFull(t *testing.T) {
+	p := newPool(1, 1)
+	ctx := context.Background()
+	if err := p.acquire(ctx); err != nil { // takes the run slot
+		t.Fatal(err)
+	}
+
+	// One caller fits in the queue...
+	queuedErr := make(chan error, 1)
+	qctx, qcancel := context.WithCancel(ctx)
+	defer qcancel()
+	go func() { queuedErr <- p.acquire(qctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued = %d, want 1", p.queued())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// ...and the next is shed immediately, without blocking.
+	start := time.Now()
+	if err := p.acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("shed took %v, want immediate", d)
+	}
+
+	// Releasing the slot hands it to the queued caller.
+	p.release()
+	if err := <-queuedErr; err != nil {
+		t.Fatalf("queued acquire = %v, want nil", err)
+	}
+	p.release()
+}
+
+func TestPoolQueuedCallerCancels(t *testing.T) {
+	p := newPool(1, 2)
+	if err := p.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- p.acquire(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued = %d, want 1", p.queued())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The cancelled caller must give its admission ticket back.
+	deadline = time.Now().Add(5 * time.Second)
+	for p.queued() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued = %d after cancel, want 0", p.queued())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.release()
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/adds"
@@ -28,7 +30,8 @@ const StatusClientClosedRequest = 499
 type Config struct {
 	CacheEntries   int           // bound on cached results (default 512)
 	Workers        int           // concurrent analyses (default GOMAXPROCS)
-	RequestTimeout time.Duration // per-request analysis budget (default 30s)
+	QueueDepth     int           // flights queued for a slot before shedding (default 4×workers; <0 = no queue)
+	RequestTimeout time.Duration // per-flight analysis budget (default 30s)
 }
 
 func (c Config) withDefaults() Config {
@@ -37,6 +40,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Workers
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 30 * time.Second
@@ -52,6 +58,12 @@ type Server struct {
 	pool    *pool
 	metrics *Metrics
 	mux     *http.ServeMux
+
+	// computeHook, when non-nil, replaces an endpoint's compute function.
+	// It is a fault-injection seam for tests (slow, failing, or hanging
+	// computations); returning nil keeps the real compute. Never set in
+	// production.
+	computeHook func(endpoint string) func(ctx context.Context) (any, error)
 }
 
 // New builds a server from the config.
@@ -60,10 +72,13 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		cache:   NewCache(cfg.CacheEntries),
-		pool:    newPool(cfg.Workers),
+		pool:    newPool(cfg.Workers, cfg.QueueDepth),
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
 	}
+	// Flights run detached from any single request's context; the request
+	// timeout bounds the shared computation, not the wait of one client.
+	s.cache.FlightTimeout = cfg.RequestTimeout
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/pipeline", s.handlePipeline)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
@@ -105,6 +120,18 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the underlying writer so streaming responses (pprof
+// traces, long profiles) are not buffered until EOF by the middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, which
+// discovers Flusher/Hijacker/etc. through it.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // endpointLabel buckets paths into a bounded label set so metrics
 // cardinality cannot grow with traffic.
 func endpointLabel(path string) string {
@@ -128,6 +155,7 @@ func endpointLabel(path string) string {
 // errorBody is the JSON error envelope every endpoint shares.
 type errorBody struct {
 	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
 	Line  int    `json:"line,omitempty"`
 	Col   int    `json:"col,omitempty"`
 }
@@ -137,15 +165,22 @@ func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	body := errorBody{Error: err.Error()}
 	var se *adds.SourceError
+	var ufe *UnknownFieldError
 	switch {
 	case errors.As(err, &se):
 		code = http.StatusUnprocessableEntity
 		body.Line, body.Col = se.Line, se.Col
+	case errors.As(err, &ufe):
+		code = http.StatusBadRequest
+		body.Field = ufe.Field
 	case errors.Is(err, ErrBadRequest), errors.Is(err, adds.ErrBadWidth):
 		code = http.StatusBadRequest
 	case errors.Is(err, adds.ErrUnknownFunction), errors.Is(err, adds.ErrNoSuchLoop),
 		errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
+	case errors.Is(err, ErrOverloaded):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, context.DeadlineExceeded):
 		code = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -162,7 +197,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) //nolint:errcheck // client gone is the only failure
 }
 
-// decodeBody parses a JSON request body into v.
+// decodeBody parses a JSON request body into v. Unknown fields are a 400,
+// not a silent default: a typoed "orcale" key must fail loudly instead of
+// answering for the default oracle.
 func decodeBody(r *http.Request, v any) error {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
 	if err != nil {
@@ -171,7 +208,15 @@ func decodeBody(r *http.Request, v any) error {
 	if len(body) > maxBodyBytes {
 		return fmt.Errorf("%w: body exceeds %d bytes", ErrBadRequest, maxBodyBytes)
 	}
-	if err := json.Unmarshal(body, v); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		// encoding/json reports the offender only in the message, as
+		// `json: unknown field "name"`; surface it as a typed error so the
+		// envelope can echo the field.
+		if rest, ok := strings.CutPrefix(err.Error(), `json: unknown field "`); ok {
+			return &UnknownFieldError{Field: strings.TrimSuffix(rest, `"`)}
+		}
 		return fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	return nil
@@ -179,9 +224,17 @@ func decodeBody(r *http.Request, v any) error {
 
 // serveCached answers one POST endpoint through the content-addressed
 // cache: canonicalize the request, derive the key, and on miss run compute
-// under a pool slot and the request timeout. The cached value is the
+// as a detached flight — on a pool slot charged to the flight, under the
+// flight timeout, alive as long as any waiter remains. The handler itself
+// only waits, selecting on its own request context, so one client's
+// disconnect never decides another client's answer. The cached value is the
 // marshaled response body, so hits cost one map lookup and one write.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, req any, compute func(ctx context.Context) (any, error)) {
+	if s.computeHook != nil {
+		if h := s.computeHook(endpoint); h != nil {
+			compute = h
+		}
+	}
 	canonical, err := json.Marshal(req)
 	if err != nil {
 		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
@@ -189,10 +242,8 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 	}
 	key := Key(endpoint, pathmatrix.EngineVersion, string(canonical))
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
-
-	val, outcome, err := s.cache.Do(key, func() ([]byte, error) {
+	label := endpointLabel(r.URL.Path)
+	val, outcome, err := s.cache.Do(r.Context(), key, func(ctx context.Context) ([]byte, error) {
 		if err := s.pool.acquire(ctx); err != nil {
 			return nil, err
 		}
@@ -202,9 +253,12 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 			return nil, err
 		}
 		return json.Marshal(resp)
-	})
+	}, func(delta int) { s.metrics.FlightRefs(label, delta) })
 	s.metrics.ObserveCache(outcome)
 	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.metrics.ObserveShed(label)
+		}
 		writeError(w, err)
 		return
 	}
@@ -250,19 +304,13 @@ func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	// Experiments take no input, so the id plus engine version is the whole
-	// content address.
+	// content address. exper.ByID is not context-aware, but the flight it
+	// runs on already is the detachment mechanism: a client that gives up
+	// waiting leaves the flight, the computation finishes on its own
+	// goroutine, and the result is cached for (or coalesced with) the next
+	// identical request — reused, never leaked per-request.
 	s.serveCached(w, r, "experiment:"+id, struct{}{}, func(ctx context.Context) (any, error) {
-		var rep *exper.Report
-		done := make(chan struct{})
-		go func() {
-			defer close(done)
-			rep = exper.ByID(id)
-		}()
-		select {
-		case <-done:
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
+		rep := exper.ByID(id)
 		if rep == nil {
 			return nil, fmt.Errorf("%w: experiment %q (known: E1..E10)", ErrNotFound, id)
 		}
@@ -279,5 +327,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteProm(w, s.cache.Len(), s.pool.inUse(), s.pool.capacity())
+	s.metrics.WriteProm(w, s.cache.Len(), s.pool.inUse(), s.pool.capacity(),
+		s.pool.queued(), s.pool.queueCapacity())
 }

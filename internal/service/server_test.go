@@ -184,6 +184,30 @@ func TestAnalyzeMalformedBody(t *testing.T) {
 	}
 }
 
+// TestAnalyzeUnknownFieldRejected: a typoed key must be a loud 400 naming
+// the field, never a silent fall-through to the default oracle.
+func TestAnalyzeUnknownFieldRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/analyze",
+		map[string]string{"source": shiftSrc, "orcale": "classic"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, data)
+	}
+	var body struct {
+		Error string `json:"error"`
+		Field string `json:"field"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Field != "orcale" {
+		t.Errorf("field = %q, want the offending %q; error %q", body.Field, "orcale", body.Error)
+	}
+	if !strings.Contains(body.Error, "orcale") {
+		t.Errorf("error %q does not name the field", body.Error)
+	}
+}
+
 func TestAnalyzeUnknownFunction(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, data := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Source: shiftSrc, Fn: "nope"})
@@ -417,6 +441,10 @@ func TestMetricsScrape(t *testing.T) {
 		"addsd_request_duration_seconds_count 2",
 		"addsd_engine_analyses_total",
 		"addsd_pool_capacity",
+		"addsd_shed_total 0",
+		"addsd_queue_depth 0",
+		"addsd_queue_capacity",
+		"addsd_flight_refs{endpoint=\"analyze\"} 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q\n%s", want, text)
@@ -433,6 +461,30 @@ func TestPprofLive(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Fatalf("pprof status = %d", resp.StatusCode)
+	}
+}
+
+// TestStatusWriterFlushPassthrough: the metrics middleware must not
+// swallow http.Flusher — streaming endpoints (pprof trace) depend on it.
+func TestStatusWriterFlushPassthrough(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec, code: http.StatusOK}
+	var _ http.Flusher = sw
+	sw.Flush()
+	if !rec.Flushed {
+		t.Error("Flush did not reach the underlying writer")
+	}
+	if sw.Unwrap() != http.ResponseWriter(rec) {
+		t.Error("Unwrap must expose the underlying writer for ResponseController")
+	}
+	// And the stdlib's discovery path works end to end.
+	rec2 := httptest.NewRecorder()
+	sw2 := &statusWriter{ResponseWriter: rec2, code: http.StatusOK}
+	if err := http.NewResponseController(sw2).Flush(); err != nil {
+		t.Errorf("ResponseController.Flush = %v", err)
+	}
+	if !rec2.Flushed {
+		t.Error("ResponseController flush did not reach the underlying writer")
 	}
 }
 

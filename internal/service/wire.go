@@ -17,6 +17,20 @@ var ErrBadRequest = errors.New("bad request")
 // unknown experiment id); handlers map it to 404.
 var ErrNotFound = errors.New("not found")
 
+// UnknownFieldError reports a JSON request body carrying a field no request
+// type defines — almost always a typo (an "orcale" that would otherwise
+// silently select the default oracle). Handlers map it to 400 and echo the
+// offending field in the error envelope.
+type UnknownFieldError struct{ Field string }
+
+func (e *UnknownFieldError) Error() string {
+	return fmt.Sprintf("bad request: unknown field %q", e.Field)
+}
+
+// Unwrap lets errors.Is(err, ErrBadRequest) classify it alongside the other
+// request-shape failures.
+func (e *UnknownFieldError) Unwrap() error { return ErrBadRequest }
+
 // AnalyzeRequest asks for path matrix analysis of one function (Fn set) or
 // every function of the source. The zero values select the defaults the
 // CLIs use: the GPM oracle, one worker per CPU.
