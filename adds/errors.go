@@ -20,6 +20,11 @@ var (
 	ErrNoSuchLoop = errors.New("no such loop")
 	// ErrBadWidth reports a non-positive VLIW machine width.
 	ErrBadWidth = errors.New("bad machine width")
+	// ErrDivergence reports that a differential-testing campaign found at
+	// least one oracle divergence — the run itself succeeded, but the tree
+	// is buggy. addsfuzz exits with ExitDivergence so CI can distinguish
+	// "found a bug" from "the fuzzer broke".
+	ErrDivergence = errors.New("divergence found")
 )
 
 // SourceError is a parse or type error carrying its source position.
@@ -77,6 +82,8 @@ const (
 	ExitNoFunc   = 4 // ErrUnknownFunction
 	ExitNoLoop   = 5 // ErrNoSuchLoop
 	ExitWidth    = 6 // ErrBadWidth
+	// ExitDivergence is addsfuzz's "the campaign worked and found bugs".
+	ExitDivergence = 7 // ErrDivergence
 )
 
 // ExitCode maps an error to the shared CLI exit code for its class.
@@ -93,6 +100,8 @@ func ExitCode(err error) int {
 		return ExitNoLoop
 	case errors.Is(err, ErrBadWidth):
 		return ExitWidth
+	case errors.Is(err, ErrDivergence):
+		return ExitDivergence
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return ExitInternal
 	}

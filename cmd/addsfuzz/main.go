@@ -1,0 +1,168 @@
+// Command addsfuzz runs the generative differential-testing campaign: it
+// generates random well-typed ADDS programs (internal/gen), pushes each
+// through the difftest oracle pairs — interpreter traces vs. static alias
+// oracles, original vs. transformed execution, sequential vs. parallel
+// analysis, plus the addslint validation — and reports every divergence
+// minimized and content-addressed.
+//
+// Usage:
+//
+//	addsfuzz -seed 1 -budget 5000 -jobs 4
+//	addsfuzz -profile list -budget 1000 -corpus out/corpus
+//
+// The JSON triage report goes to stdout and is deterministic for a given
+// (seed, budget, profile) whatever the job count; throughput (execs/sec)
+// and progress go to stderr. Exit status 0 means the campaign ran clean,
+// 7 (ExitDivergence) that it found at least one divergence, 2 flag
+// misuse, 1 internal failure.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"slices"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/adds"
+	"repro/internal/difftest"
+	"repro/internal/gen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command, factored out so tests can drive it in-process.
+// Internal panics are reported as a single line instead of a stack trace.
+func run(args []string, stdout, stderr io.Writer) (status int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "addsfuzz: internal error: %v\n", r)
+			status = adds.ExitInternal
+		}
+	}()
+
+	fs := flag.NewFlagSet("addsfuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "base seed; program i uses seed+i")
+	budget := fs.Int("budget", 1000, "total number of generated programs")
+	jobs := fs.Int("jobs", 0, "parallel workers (0 = GOMAXPROCS)")
+	profile := fs.String("profile", "", "comma-separated generation profiles (empty = all: "+profileNames()+")")
+	corpus := fs.String("corpus", "", "directory for minimized repros and triage records")
+	checks := fs.String("checks", "", "comma-separated checks (empty = all: "+strings.Join(difftest.AllChecks(), ",")+")")
+	if err := fs.Parse(args); err != nil {
+		return adds.ExitUsage
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: addsfuzz [flags]")
+		return adds.ExitUsage
+	}
+	if *budget <= 0 {
+		fmt.Fprintln(stderr, "addsfuzz: -budget must be positive")
+		return adds.ExitUsage
+	}
+	for _, name := range splitList(*profile) {
+		if _, err := gen.ProfileByName(name); err != nil {
+			fmt.Fprintln(stderr, "addsfuzz:", err)
+			return adds.ExitUsage
+		}
+	}
+	for _, name := range splitList(*checks) {
+		if !slices.Contains(difftest.AllChecks(), name) {
+			fmt.Fprintf(stderr, "addsfuzz: unknown check %q (have %s)\n", name, strings.Join(difftest.AllChecks(), ","))
+			return adds.ExitUsage
+		}
+	}
+
+	c := difftest.Campaign{
+		Seed:      *seed,
+		Budget:    *budget,
+		Jobs:      *jobs,
+		Profiles:  splitList(*profile),
+		CorpusDir: *corpus,
+		Config:    difftest.Config{Checks: splitList(*checks)},
+	}
+
+	// Progress: a counter the ticker below renders at most once a second,
+	// so worker throughput never blocks on terminal writes.
+	var done atomic.Int64
+	c.Progress = func(d, total int) { done.Store(int64(d)) }
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	start := time.Now()
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	quit := make(chan struct{})
+	ticking := make(chan struct{})
+	go func() {
+		defer close(ticking)
+		for {
+			select {
+			case <-quit:
+				return
+			case <-tick.C:
+				d := done.Load()
+				el := time.Since(start).Seconds()
+				fmt.Fprintf(stderr, "addsfuzz: %d/%d programs, %.0f execs/sec\n",
+					d, *budget, float64(d)/el)
+			}
+		}
+	}()
+
+	rep, err := c.Run(ctx)
+	close(quit)
+	<-ticking
+	if err != nil {
+		fmt.Fprintln(stderr, "addsfuzz:", err)
+		return adds.ExitCode(err)
+	}
+
+	el := time.Since(start)
+	fmt.Fprintf(stderr, "addsfuzz: %d programs in %.1fs (%.0f execs/sec), %d divergences\n",
+		rep.Programs, el.Seconds(), float64(rep.Programs)/el.Seconds(), len(rep.Divergences))
+
+	js, err := difftest.MarshalReport(rep)
+	if err != nil {
+		fmt.Fprintln(stderr, "addsfuzz:", err)
+		return adds.ExitInternal
+	}
+	if _, err := stdout.Write(js); err != nil {
+		fmt.Fprintln(stderr, "addsfuzz:", err)
+		return adds.ExitInternal
+	}
+	if len(rep.Divergences) > 0 {
+		fmt.Fprintf(stderr, "addsfuzz: %v\n", adds.ErrDivergence)
+		return adds.ExitCode(adds.ErrDivergence)
+	}
+	return adds.ExitOK
+}
+
+func profileNames() string {
+	var names []string
+	for _, p := range gen.Profiles() {
+		names = append(names, p.Name)
+	}
+	return strings.Join(names, ",")
+}
+
+// splitList parses a comma-separated flag into a clean slice (nil when
+// empty, so downstream defaults apply).
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/adds"
+	"repro/internal/difftest"
+)
+
+// TestRunCleanCampaign: a small campaign on a healthy tree exits 0 and
+// prints a well-formed report with zero divergences.
+func TestRunCleanCampaign(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-seed", "1", "-budget", "12", "-jobs", "2"}, &out, &errb)
+	if code != adds.ExitOK {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errb.String())
+	}
+	var rep difftest.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, out.String())
+	}
+	if rep.Programs != 12 || len(rep.Divergences) != 0 {
+		t.Fatalf("programs = %d, divergences = %d", rep.Programs, len(rep.Divergences))
+	}
+	if !strings.Contains(errb.String(), "execs/sec") {
+		t.Fatalf("stderr has no throughput line:\n%s", errb.String())
+	}
+}
+
+// TestRunDeterministicReport: same flags, different -jobs, byte-identical
+// stdout (the determinism acceptance criterion, at the CLI boundary).
+func TestRunDeterministicReport(t *testing.T) {
+	var a, b bytes.Buffer
+	if code := run([]string{"-seed", "3", "-budget", "10", "-jobs", "1"}, &a, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("jobs=1 exit = %d", code)
+	}
+	if code := run([]string{"-seed", "3", "-budget", "10", "-jobs", "4"}, &b, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("jobs=4 exit = %d", code)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("report bytes differ across job counts")
+	}
+}
+
+// TestRunCorpusDir: -corpus creates the directory even on a clean run.
+func TestRunCorpusDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	var out bytes.Buffer
+	if code := run([]string{"-budget", "2", "-profile", "list", "-corpus", dir}, &out, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("corpus dir missing: %v", err)
+	}
+}
+
+// TestRunUsageErrors: flag misuse exits 2 without touching stdout.
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-budget", "0"},
+		{"-nonsense"},
+		{"positional"},
+		{"-profile", "nope", "-budget", "1"},
+		{"-checks", "nope", "-budget", "1"},
+	} {
+		var out, errb bytes.Buffer
+		code := run(args, &out, &errb)
+		if code != adds.ExitUsage {
+			t.Errorf("args %v: exit %d, want %d", args, code, adds.ExitUsage)
+		}
+		if out.Len() > 0 {
+			t.Errorf("args %v: wrote to stdout on failure", args)
+		}
+	}
+}
+
+// TestRunChecksFlag restricts the campaign to one named check.
+func TestRunChecksFlag(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-budget", "4", "-checks", "consistency"}, &out, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	var rep difftest.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) != 0 {
+		t.Fatalf("divergences = %d", len(rep.Divergences))
+	}
+}

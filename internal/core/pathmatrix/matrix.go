@@ -212,6 +212,7 @@ func (m *Matrix) addRel(p, q string, r Rel) {
 // marks stale any Via tags that reference v so later stores do not remove
 // relations belonging to the variable's previous value.
 func (m *Matrix) kill(v string) {
+	m.reanchorViolations(v)
 	m.ensureCells()
 	for k := range m.cells {
 		if k[0] == v || k[1] == v {
@@ -222,6 +223,50 @@ func (m *Matrix) kill(v string) {
 		}
 	}
 	m.staleVia(v)
+}
+
+// deadName marks a violation participant whose variable was reassigned with
+// no surviving must-alias. '$' cannot appear in a source identifier, so the
+// name can never match a store base again: the violation becomes permanent
+// for this path (the broken edge still exists in the heap, we just lost our
+// name for its node).
+const deadName = "dead$"
+
+// reanchorViolations renames v inside outstanding violations before v is
+// reassigned. Violations describe broken heap edges through the variable
+// that named the node at store time; once that variable means a different
+// node, a store through it must NOT count as repairing the old edge. A
+// surviving must-alias keeps the violation repairable under its name;
+// otherwise the participant goes dead. Must run before v's cells are
+// removed (the must-alias lookup needs them).
+func (m *Matrix) reanchorViolations(v string) {
+	var renamed []Violation
+	for viol := range m.viols {
+		if viol.Base == v || viol.Other == v {
+			renamed = append(renamed, viol)
+		}
+	}
+	if len(renamed) == 0 {
+		return
+	}
+	alias := deadName
+	for _, x := range m.relatedVars(v) {
+		if m.MustAlias(v, x) {
+			alias = x
+			break
+		}
+	}
+	m.ensureViols()
+	for _, viol := range renamed {
+		delete(m.viols, viol)
+		if viol.Base == v {
+			viol.Base = alias
+		}
+		if viol.Other == v {
+			viol.Other = alias
+		}
+		m.viols[viol] = true
+	}
 }
 
 // staleVia marks Via tags naming v as stale.

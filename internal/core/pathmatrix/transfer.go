@@ -255,11 +255,12 @@ func headIsPlus(p Path, field string) bool {
 // disjointDeparture reports whether a path beginning with a field other than
 // fld provably cannot reach the node fld points to:
 //
-//   - the first step is a combined-group sibling of fld (Defs 4.7-4.8:
-//     disjoint substructures),
-//   - every step is forward along a dimension independent of fld's (Def 4.9a),
-//   - the first step is fld's backward partner (Def 4.6: the mirrored
-//     forward relation is recorded symmetrically, so nothing is lost).
+//   - the first step is a combined-group sibling of fld and the path keeps
+//     descending (Defs 4.7-4.8: disjoint substructures),
+//   - the last step is a combined-group sibling of fld (Def 4.8: unique
+//     incoming group edge),
+//   - every step is backward along fld's dimension (strict ancestors),
+//   - every step is forward along a dimension independent of fld's (Def 4.9a).
 func (t *transferer) disjointDeparture(p Path, fld *shape.Field, st *shape.Type) bool {
 	if len(p) == 0 {
 		return false
@@ -268,12 +269,49 @@ func (t *transferer) disjointDeparture(p Path, fld *shape.Field, st *shape.Type)
 	if !ok {
 		return false
 	}
-	if fld.Dir == shape.UniquelyForward && st.SameGroup(fld.Name, p[0].Field) {
+	// Classify the whole path once. The subtree arguments below are only
+	// valid when the path cannot climb back out: a backward step after the
+	// departure re-enters the region above src, from where a forward step
+	// can descend into fld's subtree (left.parent.right from a left child
+	// IS src->right).
+	descending := true // every step forward, along fld's dim or one independent of it
+	ascending := true  // every step backward along fld's dim
+	for _, step := range p {
+		dir, dim, ok := stepInfo(st, step.Field)
+		if !ok {
+			return false
+		}
+		if !forwardish(dir) || !(dim == fld.Dim || st.Independent(dim, fld.Dim)) {
+			descending = false
+		}
+		if dir != shape.Backward || dim != fld.Dim {
+			ascending = false
+		}
+	}
+	// Departure through a sibling of fld's combined group stays in the
+	// sibling's subtree, disjoint from fld's (Defs 4.7-4.8) — as long as
+	// the path keeps descending.
+	if fld.Dir == shape.UniquelyForward && st.SameGroup(fld.Name, p[0].Field) && descending {
 		return true
 	}
-	if firstDir == shape.Backward && firstDim == fld.Dim {
+	// A pure ascent reaches strict ancestors of src, never fld's subtree.
+	if firstDir == shape.Backward && firstDim == fld.Dim && ascending {
 		return true
 	}
+	// A walk whose FINAL step is a combined-group sibling g of fld cannot
+	// land on dst no matter where its middle wanders: within a combined
+	// uniquely-forward group every node has at most one incoming group
+	// edge, and dst's is fld (from src), so a node entered through g is a
+	// different node. This is what keeps parent.right from a left child
+	// disjoint from src->left while parent.right from a right child (which
+	// ends in fld itself) stays Top.
+	if fld.Dir == shape.UniquelyForward {
+		if last := p[len(p)-1].Field; last != fld.Name && st.SameGroup(fld.Name, last) {
+			return true
+		}
+	}
+	// Forward moves entirely along independent dimensions preserve the
+	// position along fld's dimension, which dst's extra step changed.
 	allIndependentForward := true
 	for _, step := range p {
 		dir, dim, ok := stepInfo(st, step.Field)
@@ -431,11 +469,26 @@ func (t *transferer) store(m *Matrix, base, field, src, record string) {
 		fld = st.Field(field)
 	}
 
-	t.removeOverwrittenEdge(m, base, field)
+	// An outstanding acyclicity violation on the edge being overwritten
+	// poisons the repair: every relation derived since the break may hide
+	// an alias (the broken-window facts were computed by rules that assume
+	// the declaration). Remember it before clearing, so re-validation of
+	// the new edge can refuse to trust those relations.
+	suspectCycle := false
+	if src != "" {
+		for v := range m.viols {
+			if v.Prop == "acyclic" && v.Field == field &&
+				(v.Base == base || m.MustAlias(v.Base, base)) {
+				suspectCycle = m.related(src, base)
+			}
+		}
+	}
+
+	t.removeOverwrittenEdge(m, base, field, st)
 	t.clearRepairedViolations(m, base, field, st)
 
 	if st != nil && fld != nil {
-		t.validateStore(m, base, field, src, fld, st)
+		t.validateStore(m, base, field, src, suspectCycle, fld, st)
 	}
 
 	if src == "" {
@@ -516,7 +569,15 @@ func pathOrAlias(m *Matrix, p, q string) Path {
 // base->field: paths leaving a must-alias of base through field, and
 // relations tagged Via{base, field}. Relations merely containing field
 // elsewhere lose certainty.
-func (t *transferer) removeOverwrittenEdge(m *Matrix, base, field string) {
+//
+// When field has a backward partner the dropped relations demote to the
+// unknown (Top) relation instead of vanishing: the old targets keep their
+// backward edges, whose chain still reaches base's node in the heap, so a
+// later backward load can re-alias them with base. An empty entry would
+// claim that alias impossible.
+func (t *transferer) removeOverwrittenEdge(m *Matrix, base, field string, st *shape.Type) {
+	backLinked := st != nil && st.BackwardPartner(field) != nil
+	var demote [][2]string
 	for k, e := range m.cells {
 		var out Entry
 		changed := false
@@ -544,6 +605,9 @@ func (t *transferer) removeOverwrittenEdge(m *Matrix, base, field string) {
 			}
 			if drop {
 				changed = true
+				if backLinked {
+					demote = append(demote, k)
+				}
 				continue
 			}
 			out = out.add(r)
@@ -551,6 +615,11 @@ func (t *transferer) removeOverwrittenEdge(m *Matrix, base, field string) {
 		if changed {
 			m.set(k[0], k[1], out)
 		}
+	}
+	// Outside the scan: addRel mirrors Top into the opposite cell, and the
+	// load rules rely on that symmetry ("mirrored; handled above").
+	for _, k := range demote {
+		m.addRel(k[0], k[1], Rel{Kind: RelTop})
 	}
 }
 
@@ -585,7 +654,10 @@ func (t *transferer) clearRepairedViolations(m *Matrix, base, field string, st *
 
 // validateStore checks the store against the declaration and records
 // violations (Defs 4.2-4.9 encoded as path matrix conditions).
-func (t *transferer) validateStore(m *Matrix, base, field, src string, fld *shape.Field, st *shape.Type) {
+// suspectCycle reports that the overwritten edge carried an outstanding
+// acyclicity violation AND the new value was related to base in the
+// pre-store matrix, which sharpens the cycle re-check below.
+func (t *transferer) validateStore(m *Matrix, base, field, src string, suspectCycle bool, fld *shape.Field, st *shape.Type) {
 	if src == "" {
 		return // removing an edge cannot break acyclicity or uniqueness
 	}
@@ -597,7 +669,13 @@ func (t *transferer) validateStore(m *Matrix, base, field, src string, fld *shap
 	// matrix explicitly denotes trigger a violation; the unknown (Top)
 	// relation between, say, two parameters does not.
 	if fld.Dir == shape.Forward || fld.Dir == shape.UniquelyForward {
-		if forwardCycleRisk(m, src, base, fld, st) {
+		// While the overwritten edge is known-cyclic, any recorded relation
+		// between src and base may be a disguised alias (it was derived
+		// while the abstraction was broken, e.g. a load through the cyclic
+		// edge), so overwriting with a related value cannot prove the cycle
+		// gone. From a valid state the same pattern is the ordinary node
+		// deletion idiom (p->next = p->next->next) and stays violation-free.
+		if forwardCycleRisk(m, src, base, fld, st) || suspectCycle {
 			m.addViolation(Violation{Prop: "acyclic", Field: field, Base: base, Other: src})
 		}
 	}

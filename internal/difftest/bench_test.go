@@ -1,0 +1,33 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// BenchmarkGenerate measures raw program generation (the cheap half every
+// campaign iteration pays).
+func BenchmarkGenerate(b *testing.B) {
+	pr := gen.Profiles()[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := gen.Generate(int64(i), pr)
+		if len(p.Source()) == 0 {
+			b.Fatal("empty source")
+		}
+	}
+}
+
+// BenchmarkDiffOne measures one full differential iteration — generation
+// plus all four checks — which bounds campaign throughput (execs/sec).
+func BenchmarkDiffOne(b *testing.B) {
+	pr := gen.Profiles()[len(gen.Profiles())-1] // mixed: rotates structures
+	cfg := Config{Runs: []int64{2, 3}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if divs := DiffOne(int64(i), pr, cfg); len(divs) > 0 {
+			b.Fatalf("unexpected divergence at seed %d: %s", i, divs[0].Detail)
+		}
+	}
+}

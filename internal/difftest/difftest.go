@@ -1,0 +1,370 @@
+// Package difftest is the differential-testing half of the addsfuzz
+// subsystem. For every program the generator emits it orchestrates three
+// oracle pairs:
+//
+//  1. soundness — concrete interpreter traces vs. the static alias
+//     oracles: every dynamically observed alias must be admitted
+//     (the paper's core claim, Defs 4.1-4.10);
+//  2. transformation equivalence — the original program vs. its
+//     xform-transformed variants (Unroll, LICM, software pipelining) must
+//     be observationally equivalent on concrete inputs;
+//  3. analysis consistency — the path-matrix engine must produce identical
+//     results regardless of worker count (the hash-consed parallel engine
+//     vs. the sequential path).
+//
+// A fourth, cheaper check runs the addslint validation over every
+// generated program: lint coverage on inputs no human would write.
+//
+// Failures are classified as Divergences, content-addressed with the same
+// SHA-256 scheme as internal/service, and delta-debugged down to minimal
+// statement lists by a structure-aware shrinker (Shrink).
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/alias"
+	"repro/internal/alias/klimit"
+	"repro/internal/core/pathmatrix"
+	"repro/internal/gen"
+	"repro/internal/interp"
+	"repro/internal/norm"
+	"repro/internal/service"
+	"repro/internal/source/ast"
+	"repro/internal/source/parser"
+	"repro/internal/source/token"
+	"repro/internal/source/types"
+)
+
+// Check names, in the order DiffOne runs them.
+const (
+	CheckLint        = "lint"
+	CheckSoundness   = "soundness"
+	CheckXform       = "xform"
+	CheckConsistency = "consistency"
+)
+
+// noCancel is the context for in-process analyses that are bounded by
+// construction (tiny generated programs) and never need cancellation.
+var noCancel = context.Background()
+
+// AllChecks returns every check name in canonical order.
+func AllChecks() []string {
+	return []string{CheckLint, CheckSoundness, CheckXform, CheckConsistency}
+}
+
+// Config tunes one differential run.
+type Config struct {
+	// Checks selects which oracle pairs run; nil means all.
+	Checks []string
+	// Runs are the main() size arguments each program executes under;
+	// nil means {2, 3, 5}.
+	Runs []int64
+	// MaxSteps bounds each interpretation (0 = 1<<16, matching the
+	// soundness fuzz budget).
+	MaxSteps int
+	// WrapOracle, when set, wraps every alias oracle before the soundness
+	// comparison. It is the fault-injection seam: tests wrap a correct
+	// oracle in one that drops matrix relations and assert the harness
+	// catches and shrinks the planted bug.
+	WrapOracle func(alias.Oracle) alias.Oracle
+	// ShrinkBudget caps shrinker check executions per divergence
+	// (0 = 400).
+	ShrinkBudget int
+}
+
+func (c Config) runs() []int64 {
+	if len(c.Runs) == 0 {
+		return []int64{2, 3, 5}
+	}
+	return c.Runs
+}
+
+func (c Config) maxSteps() int {
+	if c.MaxSteps == 0 {
+		return 1 << 16
+	}
+	return c.MaxSteps
+}
+
+func (c Config) checks() []string {
+	if len(c.Checks) == 0 {
+		return AllChecks()
+	}
+	return c.Checks
+}
+
+func (c Config) shrinkBudget() int {
+	if c.ShrinkBudget == 0 {
+		return 400
+	}
+	return c.ShrinkBudget
+}
+
+// Divergence is one confirmed disagreement between a pair of oracles,
+// minimized and content-addressed for triage.
+type Divergence struct {
+	Seed      int64  `json:"seed"`
+	Profile   string `json:"profile"`
+	Structure string `json:"structure"`
+	Check     string `json:"check"`
+	Detail    string `json:"detail"`
+	// Hash content-addresses the original source (service.Key scheme).
+	Hash   string `json:"hash"`
+	Source string `json:"source"`
+	// Minimized is the shrunk repro; MinHash its content address;
+	// MinStmts the statement count of the shrunk fuzzed body.
+	Minimized string `json:"minimized"`
+	MinHash   string `json:"minHash"`
+	MinStmts  int    `json:"minStmts"`
+}
+
+// DiffOne generates the program for (seed, profile), runs every configured
+// check, and returns one shrunk divergence per failing check. A clean
+// program returns nil.
+func DiffOne(seed int64, pr gen.Profile, cfg Config) []Divergence {
+	p := gen.Generate(seed, pr)
+	var out []Divergence
+	for _, name := range cfg.checks() {
+		check := checkFn(name)
+		if check == nil {
+			continue
+		}
+		detail := check(p, cfg)
+		if detail == "" {
+			continue
+		}
+		min := Shrink(p, func(q *gen.Program) bool { return check(q, cfg) != "" }, cfg.shrinkBudget())
+		src := string(p.Source())
+		minSrc := string(min.Source())
+		out = append(out, Divergence{
+			Seed:      seed,
+			Profile:   pr.Name,
+			Structure: p.TypeName,
+			Check:     name,
+			Detail:    detail,
+			Hash:      service.Key(src),
+			Source:    src,
+			Minimized: minSrc,
+			MinHash:   service.Key(minSrc),
+			MinStmts:  min.NumStmts(),
+		})
+	}
+	return out
+}
+
+// checkFn maps a check name to its implementation. Every check returns ""
+// when the program is clean, or a deterministic description of the first
+// (in a sorted order) divergence.
+func checkFn(name string) func(*gen.Program, Config) string {
+	switch name {
+	case CheckLint:
+		return checkLint
+	case CheckSoundness:
+		return checkSoundness
+	case CheckXform:
+		return checkXform
+	case CheckConsistency:
+		return checkConsistency
+	}
+	return nil
+}
+
+// load parses and type-checks a generated program. Generated programs are
+// well-typed by construction, so a failure here is itself a divergence
+// (a generator bug), reported by every check as "does not load".
+func load(p *gen.Program) (*ast.Program, *types.Info, string) {
+	src := p.Source()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, nil, fmt.Sprintf("generated program does not parse: %v", err)
+	}
+	info, errs := types.Check(prog)
+	if len(errs) > 0 {
+		return nil, nil, fmt.Sprintf("generated program does not check: %v", errs[0])
+	}
+	return prog, info, ""
+}
+
+// tolerated reports interpreter errors that are expected consequences of
+// random mutation (cycles exhaust the step budget; a shuffled structure
+// dereferences NULL behind a stale guard) rather than harness findings.
+func tolerated(err error) bool {
+	return err == nil ||
+		strings.Contains(err.Error(), "step budget") ||
+		strings.Contains(err.Error(), "NULL")
+}
+
+// ---------------------------------------------------------------------------
+// Check 1: lint (the addslint pair — run main, validate the final heap)
+
+// checkLint interprets the self-contained main for every run size and
+// fails on any runtime error: generated programs guard every dereference
+// and bound every loop, so an execution failure means the generator and
+// the interpreter disagree about the language. For profiles that never
+// mutate pointer fields the final heap must additionally satisfy every
+// ADDS declaration (Defs 4.2-4.9), exactly as cmd/addslint checks it.
+func checkLint(p *gen.Program, cfg Config) string {
+	prog, info, msg := load(p)
+	if msg != "" {
+		return msg
+	}
+	for _, n := range cfg.runs() {
+		in := interp.New(prog)
+		in.MaxSteps = cfg.maxSteps()
+		if _, err := in.Call(p.Main(), interp.IntVal(n)); err != nil {
+			return fmt.Sprintf("lint: main(%d) failed: %v", n, err)
+		}
+		if p.Profile.Mutate {
+			continue
+		}
+		if vs := interp.Check(info.Env, in.Heap.Live()...); len(vs) > 0 {
+			return fmt.Sprintf("lint: main(%d) left an invalid heap under a read-only profile: %s",
+				n, vs[0].String())
+		}
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------------------
+// Check 2: soundness (interpreter traces vs. static alias oracles)
+
+// tracer records observed aliases keyed by statement position (the same
+// ground-truth instrument the soundness property tests use).
+type tracer struct {
+	ptrVars  []string
+	observed map[token.Pos]map[[2]string]bool
+}
+
+func (tr *tracer) AtStmt(s ast.Stmt, vars map[string]interp.Value) {
+	pos := s.Pos()
+	for i, p := range tr.ptrVars {
+		vp, ok := vars[p]
+		if !ok || !vp.IsPtr || vp.Ptr == nil {
+			continue
+		}
+		for _, q := range tr.ptrVars[i+1:] {
+			vq, ok := vars[q]
+			if !ok || !vq.IsPtr || vq.Ptr == nil {
+				continue
+			}
+			if vp.Ptr == vq.Ptr {
+				if tr.observed[pos] == nil {
+					tr.observed[pos] = map[[2]string]bool{}
+				}
+				tr.observed[pos][[2]string{p, q}] = true
+			}
+		}
+	}
+}
+
+// nodeAtPos returns the earliest CFG node lowered from a statement at the
+// position (the program point "before the statement").
+func nodeAtPos(g *norm.Graph, pos token.Pos) *norm.Node {
+	for _, n := range g.Nodes {
+		if n.Kind == norm.NodeStmt && n.Stmt.Pos == pos {
+			return n
+		}
+	}
+	return nil
+}
+
+// checkSoundness executes main (which builds the structure in mini and
+// calls the fuzzed function), records every alias the run actually
+// produced inside fuzzed, and requires every static oracle to admit each
+// one. An alias an oracle rules out is a soundness divergence — the class
+// of bug the whole subsystem exists to catch.
+func checkSoundness(p *gen.Program, cfg Config) string {
+	prog, info, msg := load(p)
+	if msg != "" {
+		return msg
+	}
+	fi := info.Func(p.Entry())
+	if fi == nil {
+		return "" // entry shrunk away: nothing to check
+	}
+	g := norm.Build(fi, info.Env)
+	oracles := []alias.Oracle{
+		alias.NewGPM(g, info.Env),
+		alias.NewClassic(g, info.Env),
+		alias.NewConservative(g),
+		klimit.Analyze(g, info.Env, 2),
+	}
+	if cfg.WrapOracle != nil {
+		for i, o := range oracles {
+			oracles[i] = cfg.WrapOracle(o)
+		}
+	}
+
+	var misses []string
+	for _, n := range cfg.runs() {
+		in := interp.New(prog)
+		in.MaxSteps = cfg.maxSteps()
+		tr := &tracer{ptrVars: fi.PointerVars(), observed: map[token.Pos]map[[2]string]bool{}}
+		in.Tracer = tr
+		if _, err := in.Call(p.Main(), interp.IntVal(n)); !tolerated(err) {
+			return fmt.Sprintf("soundness: main(%d) failed: %v", n, err)
+		}
+		for pos, pairs := range tr.observed {
+			node := nodeAtPos(g, pos)
+			if node == nil {
+				continue
+			}
+			for pair := range pairs {
+				for _, o := range oracles {
+					if !o.MayAlias(node, pair[0], pair[1]) {
+						misses = append(misses, fmt.Sprintf(
+							"soundness: oracle %s misses real alias %s==%s before %s (main(%d))",
+							o.Name(), pair[0], pair[1], pos, n))
+					}
+				}
+			}
+		}
+	}
+	if len(misses) == 0 {
+		return ""
+	}
+	sort.Strings(misses) // map iteration order must not leak into reports
+	return misses[0]
+}
+
+// ---------------------------------------------------------------------------
+// Check 4: analysis consistency (sequential vs. parallel engine)
+
+// checkConsistency analyzes the whole program twice — one worker vs. four
+// — and requires byte-identical matrices for every function: the interned,
+// hash-consed parallel engine must be observationally indistinguishable
+// from the sequential one.
+func checkConsistency(p *gen.Program, cfg Config) string {
+	_, info, msg := load(p)
+	if msg != "" {
+		return msg
+	}
+	seq, err := pathmatrix.AnalyzeProgramCtx(noCancel, info, info.Env, 1)
+	if err != nil {
+		return fmt.Sprintf("consistency: sequential analysis failed: %v", err)
+	}
+	par, err := pathmatrix.AnalyzeProgramCtx(noCancel, info, info.Env, 4)
+	if err != nil {
+		return fmt.Sprintf("consistency: parallel analysis failed: %v", err)
+	}
+	names := make([]string, 0, len(seq))
+	for name := range seq {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pr, ok := par[name]
+		if !ok {
+			return fmt.Sprintf("consistency: function %s missing from parallel result", name)
+		}
+		if a, b := seq[name].Result.String(), pr.Result.String(); a != b {
+			return fmt.Sprintf("consistency: %s: sequential and parallel matrices differ:\n--- seq\n%s\n--- par\n%s",
+				name, a, b)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,178 @@
+package difftest
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/gen"
+	"repro/internal/norm"
+)
+
+// TestDiffOneCleanSeeds: on a healthy tree every check passes over a seed
+// range for every profile — the baseline the CI smoke job scales up.
+func TestDiffOneCleanSeeds(t *testing.T) {
+	for _, pr := range gen.Profiles() {
+		for seed := int64(0); seed < 15; seed++ {
+			for _, d := range DiffOne(seed, pr, Config{}) {
+				t.Fatalf("profile %s seed %d check %s:\n%s\nminimized (%d stmts):\n%s",
+					pr.Name, seed, d.Check, d.Detail, d.MinStmts, d.Minimized)
+			}
+		}
+	}
+}
+
+// dropOracle wraps a correct oracle but denies one specific alias pair —
+// the planted soundness bug the acceptance criteria require the harness to
+// catch and shrink.
+type dropOracle struct {
+	alias.Oracle
+	p, q string
+}
+
+func (d dropOracle) MayAlias(n *norm.Node, a, b string) bool {
+	if (a == d.p && b == d.q) || (a == d.q && b == d.p) {
+		return false
+	}
+	return d.Oracle.MayAlias(n, a, b)
+}
+
+// TestInjectedBugCaughtAndShrunk plants a dropped matrix relation behind
+// the WrapOracle hook and requires the harness to flag it as a soundness
+// divergence and delta-debug the repro to at most 8 statements.
+func TestInjectedBugCaughtAndShrunk(t *testing.T) {
+	cfg := Config{
+		Checks:     []string{CheckSoundness},
+		WrapOracle: func(o alias.Oracle) alias.Oracle { return dropOracle{Oracle: o, p: "b", q: "d"} },
+	}
+	pr, err := gen.ProfileByName("list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	divs := DiffOne(1, pr, cfg)
+	if len(divs) == 0 {
+		t.Fatal("planted soundness bug was not caught")
+	}
+	d := divs[0]
+	if d.Check != CheckSoundness {
+		t.Fatalf("check = %s, want %s", d.Check, CheckSoundness)
+	}
+	if !strings.Contains(d.Detail, "misses real alias") {
+		t.Fatalf("detail does not describe a missed alias:\n%s", d.Detail)
+	}
+	if d.MinStmts > 8 {
+		t.Fatalf("minimized repro has %d statements, want <= 8:\n%s", d.MinStmts, d.Minimized)
+	}
+	if d.MinHash == "" || d.Hash == "" {
+		t.Fatal("divergence is not content-addressed")
+	}
+}
+
+// TestShrinkToSingleStatement: a predicate satisfied by one specific
+// statement must shrink to exactly that statement.
+func TestShrinkToSingleStatement(t *testing.T) {
+	p := gen.Generate(7, gen.Profiles()[0])
+	failing := func(q *gen.Program) bool {
+		return bytes.Contains(q.Source(), []byte("b = a;"))
+	}
+	min := Shrink(p, failing, 0)
+	if min.NumStmts() != 1 {
+		t.Fatalf("shrunk to %d statements, want 1:\n%s", min.NumStmts(), min.Source())
+	}
+	if !failing(min) {
+		t.Fatal("shrunk program no longer fails")
+	}
+}
+
+// TestShrinkUnwrapsCompounds: when only a nested statement matters, the
+// shrinker must strip the enclosing loop or guard.
+func TestShrinkUnwrapsCompounds(t *testing.T) {
+	p := gen.Generate(3, gen.Profiles()[0])
+	p = p.WithStmts([]gen.Stmt{{
+		Head: []string{"if (a != NULL) {"},
+		Body: []gen.Stmt{{Head: []string{"b = a;"}}},
+		Tail: "}",
+	}})
+	failing := func(q *gen.Program) bool {
+		return bytes.Contains(q.Source(), []byte("b = a;"))
+	}
+	min := Shrink(p, failing, 0)
+	if min.NumStmts() != 1 {
+		t.Fatalf("shrunk to %d statements, want the unwrapped single statement:\n%s",
+			min.NumStmts(), min.Source())
+	}
+	if bytes.Contains(min.Source(), []byte("if (a != NULL) {")) {
+		t.Fatalf("guard survived shrinking:\n%s", min.Source())
+	}
+}
+
+// TestCampaignDeterministic: identical seed + profile + budget produce
+// byte-identical marshaled reports whatever the worker count — the
+// acceptance criterion that makes triage diffs trustworthy.
+func TestCampaignDeterministic(t *testing.T) {
+	base := Campaign{Seed: 11, Budget: 24, Config: Config{Runs: []int64{2, 3}}}
+	a := base
+	a.Jobs = 1
+	b := base
+	b.Jobs = 4
+	ra, err := a.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := marshalReportJSON(ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := marshalReportJSON(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("reports differ across job counts:\n--- jobs=1\n%s\n--- jobs=4\n%s", ja, jb)
+	}
+}
+
+// TestCampaignWritesCorpus: an injected bug produces .mini and .json
+// artifacts named by content hash.
+func TestCampaignWritesCorpus(t *testing.T) {
+	dir := t.TempDir()
+	c := Campaign{
+		Seed:      1,
+		Budget:    2,
+		Jobs:      2,
+		Profiles:  []string{"list"},
+		CorpusDir: dir,
+		Config: Config{
+			Checks:     []string{CheckSoundness},
+			WrapOracle: func(o alias.Oracle) alias.Oracle { return dropOracle{Oracle: o, p: "b", q: "c"} },
+		},
+	}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) == 0 {
+		t.Fatal("campaign found nothing despite the planted bug")
+	}
+	d := rep.Divergences[0]
+	for _, suffix := range []string{".mini", ".json"} {
+		if _, err := os.ReadFile(filepath.Join(dir, d.MinHash[:16]+suffix)); err != nil {
+			t.Fatalf("missing corpus artifact %s: %v", suffix, err)
+		}
+	}
+}
+
+// TestCampaignUnknownProfile is the config-error path.
+func TestCampaignUnknownProfile(t *testing.T) {
+	if _, err := (Campaign{Budget: 1, Profiles: []string{"nope"}}).Run(context.Background()); err == nil {
+		t.Fatal("want error for unknown profile")
+	}
+}

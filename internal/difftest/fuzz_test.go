@@ -1,0 +1,27 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// FuzzDiffOne is the Go-native entry into the differential harness: the
+// fuzzer explores (seed, profile) space and any check divergence is a
+// crash. The seed corpus under testdata/fuzz pins one seed per profile.
+func FuzzDiffOne(f *testing.F) {
+	for i, pr := range gen.Profiles() {
+		f.Add(int64(i*101), pr.Name)
+	}
+	cfg := Config{Runs: []int64{2, 3}}
+	f.Fuzz(func(t *testing.T, seed int64, profile string) {
+		pr, err := gen.ProfileByName(profile)
+		if err != nil {
+			t.Skip()
+		}
+		for _, d := range DiffOne(seed, pr, cfg) {
+			t.Fatalf("seed %d profile %s check %s:\n%s\nminimized (%d stmts):\n%s",
+				seed, profile, d.Check, d.Detail, d.MinStmts, d.Minimized)
+		}
+	})
+}

@@ -1,0 +1,19 @@
+package difftest
+
+import "encoding/json"
+
+// marshalReportJSON renders a value the way every addsfuzz artifact is
+// written: two-space indent, trailing newline, deterministic key order
+// (encoding/json sorts map keys). Reports and corpus records must be
+// byte-identical across runs with the same inputs.
+func marshalReportJSON(v interface{}) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// MarshalReport renders a campaign report in the canonical artifact form
+// (what addsfuzz prints to stdout and CI archives).
+func MarshalReport(r *Report) ([]byte, error) { return marshalReportJSON(r) }

@@ -1,0 +1,65 @@
+package difftest
+
+import "repro/internal/gen"
+
+// Shrink delta-debugs a failing program down to a minimal statement list:
+// the smallest variant for which failing still holds. It alternates two
+// structure-aware passes to a fixed point — chunked statement removal
+// (ddmin-style, halving chunk sizes) and compound unwrapping (replacing a
+// loop or guard by its body, which plain line deletion cannot reach
+// without breaking syntax) — under a hard budget of failing-checks, so a
+// pathological divergence cannot stall a campaign.
+func Shrink(p *gen.Program, failing func(*gen.Program) bool, maxChecks int) *gen.Program {
+	if maxChecks <= 0 {
+		maxChecks = 400
+	}
+	cur := p
+	checks := 0
+	// try adopts the candidate statement list if it still fails.
+	try := func(stmts []gen.Stmt) bool {
+		if checks >= maxChecks {
+			return false
+		}
+		checks++
+		q := cur.WithStmts(stmts)
+		if !failing(q) {
+			return false
+		}
+		cur = q
+		return true
+	}
+	without := func(stmts []gen.Stmt, i, j int) []gen.Stmt {
+		out := make([]gen.Stmt, 0, len(stmts)-(j-i))
+		out = append(out, stmts[:i]...)
+		return append(out, stmts[j:]...)
+	}
+	for changed := true; changed && checks < maxChecks; {
+		changed = false
+		// Pass 1: remove chunks, largest first.
+		for size := (len(cur.Stmts) + 1) / 2; size >= 1; size /= 2 {
+			for i := 0; i+size <= len(cur.Stmts); {
+				if try(without(cur.Stmts, i, i+size)) {
+					changed = true // the next chunk shifted into place at i
+				} else {
+					i++
+				}
+			}
+		}
+		// Pass 2: splice compound bodies in place of their wrapper.
+		for i := 0; i < len(cur.Stmts); i++ {
+			s := cur.Stmts[i]
+			if len(s.Body) == 0 {
+				continue
+			}
+			cand := make([]gen.Stmt, 0, len(cur.Stmts)+len(s.Body)-1)
+			cand = append(cand, cur.Stmts[:i]...)
+			cand = append(cand, s.Body...)
+			cand = append(cand, cur.Stmts[i+1:]...)
+			if try(cand) {
+				changed = true
+				i-- // the spliced body may unwrap or shrink further
+			}
+		}
+	}
+	return cur
+}

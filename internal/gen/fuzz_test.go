@@ -1,0 +1,37 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/source/parser"
+	"repro/internal/source/types"
+)
+
+// FuzzGenerate drives the generator itself: whatever (seed, profile) the
+// fuzzer reaches, the emitted program must parse, type-check, and be
+// deterministic. The seed corpus under testdata/fuzz pins one seed per
+// profile.
+func FuzzGenerate(f *testing.F) {
+	for i, pr := range Profiles() {
+		f.Add(int64(i*37), pr.Name)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, profile string) {
+		pr, err := ProfileByName(profile)
+		if err != nil {
+			t.Skip()
+		}
+		p := Generate(seed, pr)
+		src := p.Source()
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		if _, errs := types.Check(prog); len(errs) > 0 {
+			t.Fatalf("seed %d: check: %v\n%s", seed, errs[0], src)
+		}
+		if !bytes.Equal(src, Generate(seed, pr).Source()) {
+			t.Fatalf("seed %d: non-deterministic source", seed)
+		}
+	})
+}

@@ -1,0 +1,192 @@
+// Package gen is the generative half of the addsfuzz subsystem: a
+// declaration-aware random program generator that emits well-typed mini
+// source over the paper's ADDS structures — two-way lists, parent-pointer
+// trees (combined uniquely-forward groups), circular lists, and
+// independent-dimension lists of lists (`where X || Y`) — including guarded
+// mutations that temporarily or permanently break the declared abstraction
+// and insertion idioms that break and then repair it.
+//
+// Generation is fully deterministic: one seed plus one Profile yields one
+// byte-identical program, so every failure a downstream harness finds
+// reproduces from its seed alone. Programs keep their statement structure
+// (a tree of Stmt values) alongside the rendered source, which is what the
+// difftest shrinker delta-debugs over.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Profile parameterizes generation. The zero value is not useful; start
+// from ProfileByName or Profiles.
+type Profile struct {
+	// Name identifies the profile in reports and corpus metadata.
+	Name string
+	// Structure is the record type generated programs shuffle ("TwoWayLL",
+	// "PBinTree", "CirL", "LOLS"). Empty means rotate per seed across all
+	// structures (the "mixed" profile).
+	Structure string
+	// MinStmts/MaxStmts bound the number of top-level statements in the
+	// fuzzed function's body.
+	MinStmts, MaxStmts int
+	// Mutate permits pointer-field stores: guarded link updates that may
+	// temporarily or permanently violate the declared abstraction, plus
+	// break-and-repair insertion idioms. Without it programs only read the
+	// structure (and allocate unlinked nodes), so the final heap must still
+	// satisfy every declaration — the lint check exploits that.
+	Mutate bool
+}
+
+// Profiles returns the built-in profiles, in a stable order.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "list", Structure: "TwoWayLL", MinStmts: 6, MaxStmts: 16, Mutate: true},
+		{Name: "tree", Structure: "PBinTree", MinStmts: 6, MaxStmts: 16, Mutate: true},
+		{Name: "circular", Structure: "CirL", MinStmts: 6, MaxStmts: 14, Mutate: true},
+		{Name: "lols", Structure: "LOLS", MinStmts: 6, MaxStmts: 16, Mutate: true},
+		{Name: "readonly", Structure: "", MinStmts: 6, MaxStmts: 16, Mutate: false},
+		{Name: "mixed", Structure: "", MinStmts: 6, MaxStmts: 16, Mutate: true},
+	}
+}
+
+// ProfileByName resolves a built-in profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("unknown profile %q", name)
+}
+
+// Stmt is one generated statement of the fuzzed function: either a simple
+// statement (Head holds its rendered lines, Body is nil) or a compound one
+// — a bounded loop or a guard — whose Body the shrinker can unwrap.
+type Stmt struct {
+	// Head holds the opening source lines (everything for a simple
+	// statement; e.g. "i = 3;" and "while (...) {" for a loop).
+	Head []string
+	// Body holds the nested statements of a compound statement.
+	Body []Stmt
+	// Tail closes a compound statement ("}"); empty for simple ones.
+	Tail string
+}
+
+// Count returns the number of Stmt nodes in the subtree (the statement
+// count divergence repros are measured in).
+func (s Stmt) Count() int {
+	n := 1
+	for _, b := range s.Body {
+		n += b.Count()
+	}
+	return n
+}
+
+func simple(lines ...string) Stmt { return Stmt{Head: lines} }
+
+// Program is one generated compilation unit: the structure declaration, a
+// mini-language builder, the random fuzzed function (as a statement tree),
+// and a main wrapper, rendered on demand by Source.
+type Program struct {
+	Profile  Profile
+	Seed     int64
+	TypeName string
+	// Stmts is the top-level statement list of the fuzzed function's body.
+	Stmts []Stmt
+
+	shape *structureSpec
+}
+
+// Generate builds the program for the seed under the profile. Identical
+// (seed, profile) pairs yield identical programs.
+func Generate(seed int64, pr Profile) *Program {
+	rng := rand.New(rand.NewSource(seed))
+	spec := specFor(structureForSeed(seed, pr))
+	n := pr.MinStmts
+	if pr.MaxStmts > pr.MinStmts {
+		n += rng.Intn(pr.MaxStmts - pr.MinStmts + 1)
+	}
+	p := &Program{Profile: pr, Seed: seed, TypeName: spec.typeName, shape: spec}
+	// The alias seeds are ordinary statements, not a fixed prologue, so the
+	// shrinker can remove them like anything else.
+	for _, v := range []string{"b", "c", "d"} {
+		p.Stmts = append(p.Stmts, simple(fmt.Sprintf("%s = a;", v)))
+	}
+	for i := 0; i < n; i++ {
+		p.Stmts = append(p.Stmts, spec.emit(rng, pr))
+	}
+	return p
+}
+
+// structureForSeed picks the concrete structure: the profile's own, or a
+// per-seed rotation when the profile leaves it open.
+func structureForSeed(seed int64, pr Profile) string {
+	if pr.Structure != "" {
+		return pr.Structure
+	}
+	names := []string{"TwoWayLL", "PBinTree", "CirL", "LOLS"}
+	i := seed % int64(len(names))
+	if i < 0 {
+		i += int64(len(names))
+	}
+	return names[i]
+}
+
+// WithStmts returns a copy of the program with a different statement list
+// (the shrinker's step function).
+func (p *Program) WithStmts(stmts []Stmt) *Program {
+	q := *p
+	q.Stmts = stmts
+	return &q
+}
+
+// NumStmts counts the statements of the fuzzed body, nested ones included.
+func (p *Program) NumStmts() int {
+	n := 0
+	for _, s := range p.Stmts {
+		n += s.Count()
+	}
+	return n
+}
+
+// Entry returns the name of the randomly generated function.
+func (p *Program) Entry() string { return "fuzzed" }
+
+// Main returns the name of the self-contained entry point (takes one int:
+// the structure size), runnable by addslint and the interpreter.
+func (p *Program) Main() string { return "main" }
+
+// Source renders the complete compilation unit.
+func (p *Program) Source() []byte {
+	var b strings.Builder
+	b.WriteString(p.shape.decl)
+	b.WriteString(p.shape.builder)
+	fmt.Fprintf(&b, "void fuzzed(%s *a) {\n", p.TypeName)
+	fmt.Fprintf(&b, "    %s *b, *c, *d;\n", p.TypeName)
+	b.WriteString("    int i;\n")
+	for _, s := range p.Stmts {
+		renderStmt(&b, s, 1)
+	}
+	b.WriteString("}\n")
+	b.WriteString(p.shape.mainSrc)
+	return []byte(b.String())
+}
+
+func renderStmt(b *strings.Builder, s Stmt, depth int) {
+	ind := strings.Repeat("    ", depth)
+	for _, l := range s.Head {
+		b.WriteString(ind)
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	for _, inner := range s.Body {
+		renderStmt(b, inner, depth+1)
+	}
+	if s.Tail != "" {
+		b.WriteString(ind)
+		b.WriteString(s.Tail)
+		b.WriteByte('\n')
+	}
+}

@@ -1,0 +1,111 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/source/parser"
+	"repro/internal/source/types"
+)
+
+// TestGeneratedProgramsWellTyped is the generator's basic contract: every
+// program parses and type-checks, for every profile over many seeds.
+func TestGeneratedProgramsWellTyped(t *testing.T) {
+	for _, pr := range Profiles() {
+		for seed := int64(0); seed < 200; seed++ {
+			p := Generate(seed, pr)
+			src := p.Source()
+			prog, err := parser.Parse(src)
+			if err != nil {
+				t.Fatalf("profile %s seed %d: parse: %v\n%s", pr.Name, seed, err, src)
+			}
+			if _, errs := types.Check(prog); len(errs) > 0 {
+				t.Fatalf("profile %s seed %d: check: %v\n%s", pr.Name, seed, errs[0], src)
+			}
+			if prog.FuncByName(p.Entry()) == nil || prog.FuncByName(p.Main()) == nil {
+				t.Fatalf("profile %s seed %d: missing entry or main", pr.Name, seed)
+			}
+		}
+	}
+}
+
+// TestGenerateDeterministic: identical seed + profile means byte-identical
+// source — the property every repro workflow rests on.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, pr := range Profiles() {
+		for seed := int64(0); seed < 50; seed++ {
+			a := Generate(seed, pr).Source()
+			b := Generate(seed, pr).Source()
+			if !bytes.Equal(a, b) {
+				t.Fatalf("profile %s seed %d: non-deterministic source", pr.Name, seed)
+			}
+		}
+	}
+}
+
+// TestReadonlyProfileHasNoStores: the readonly profile must never emit a
+// pointer-field store, so the final heap provably satisfies the declaration
+// (the lint check depends on this).
+func TestReadonlyProfileHasNoStores(t *testing.T) {
+	pr, err := ProfileByName("readonly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		p := Generate(seed, pr)
+		var walk func(s Stmt)
+		var bad []string
+		walk = func(s Stmt) {
+			for _, l := range s.Head {
+				if containsPtrStore(l) {
+					bad = append(bad, l)
+				}
+			}
+			for _, inner := range s.Body {
+				walk(inner)
+			}
+		}
+		for _, s := range p.Stmts {
+			walk(s)
+		}
+		if len(bad) > 0 {
+			t.Fatalf("seed %d: readonly profile emitted stores: %v", seed, bad)
+		}
+	}
+}
+
+// containsPtrStore detects "x->field = ..." where field is not data.
+func containsPtrStore(line string) bool {
+	i := bytes.Index([]byte(line), []byte("->"))
+	if i < 0 {
+		return false
+	}
+	eq := bytes.Index([]byte(line), []byte("="))
+	if eq < 0 || eq < i {
+		return false // comparison or deref on the RHS only
+	}
+	return !bytes.Contains([]byte(line[:eq]), []byte("->data"))
+}
+
+// TestWithStmtsRerenders: the shrinker's step function produces a program
+// whose source reflects exactly the new statement list.
+func TestWithStmtsRerenders(t *testing.T) {
+	p := Generate(1, Profiles()[0])
+	q := p.WithStmts(p.Stmts[:1])
+	if q.NumStmts() != 1 {
+		t.Fatalf("NumStmts = %d, want 1", q.NumStmts())
+	}
+	if bytes.Equal(p.Source(), q.Source()) {
+		t.Fatal("source did not change")
+	}
+	if _, err := parser.Parse(q.Source()); err != nil {
+		t.Fatalf("shrunk program does not parse: %v\n%s", err, q.Source())
+	}
+}
+
+// TestProfileByNameUnknown reports a typed error for unknown names.
+func TestProfileByNameUnknown(t *testing.T) {
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,455 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// structureSpec bundles everything structure-specific: the ADDS declaration
+// (kept verbatim in sync with internal/structures.Decls), a mini builder
+// that constructs a valid instance, the main wrapper, and the statement
+// grammar of the fuzzed function.
+type structureSpec struct {
+	typeName string
+	decl     string
+	builder  string
+	mainSrc  string
+	// emit produces one random top-level statement. It must only emit
+	// pointer-field stores (shape mutations) when the profile allows them.
+	emit func(rng *rand.Rand, pr Profile) Stmt
+}
+
+var vars = []string{"a", "b", "c", "d"}
+
+func pickVar(rng *rand.Rand) string { return vars[rng.Intn(len(vars))] }
+
+func pickOf(rng *rand.Rand, of []string) string { return of[rng.Intn(len(of))] }
+
+// copyStmt, nullStmt, newStmt are the structure-independent statements.
+func copyStmt(rng *rand.Rand) Stmt {
+	return simple(fmt.Sprintf("%s = %s;", pickVar(rng), pickVar(rng)))
+}
+
+func nullStmt(rng *rand.Rand) Stmt {
+	return simple(fmt.Sprintf("%s = NULL;", pickVar(rng)))
+}
+
+func newStmt(rng *rand.Rand, typeName string) Stmt {
+	return simple(fmt.Sprintf("%s = new %s;", pickVar(rng), typeName))
+}
+
+// derefStmt emits a guarded pointer-field read: if (x != NULL) { y = x->f; }
+func derefStmt(rng *rand.Rand, fields []string) Stmt {
+	src := pickVar(rng)
+	return Stmt{
+		Head: []string{fmt.Sprintf("if (%s != NULL) {", src)},
+		Body: []Stmt{simple(fmt.Sprintf("%s = %s->%s;", pickVar(rng), src, pickOf(rng, fields)))},
+		Tail: "}",
+	}
+}
+
+// storeStmt emits a guarded pointer-field write (possibly breaking the
+// declared abstraction — the analyses must stay sound regardless).
+func storeStmt(rng *rand.Rand, fields []string) Stmt {
+	base := pickVar(rng)
+	rhs := pickVar(rng)
+	if rng.Intn(3) == 0 {
+		rhs = "NULL"
+	}
+	return Stmt{
+		Head: []string{fmt.Sprintf("if (%s != NULL) {", base)},
+		Body: []Stmt{simple(fmt.Sprintf("%s->%s = %s;", base, pickOf(rng, fields), rhs))},
+		Tail: "}",
+	}
+}
+
+// dataStmt emits a guarded int-field write (never a shape mutation).
+func dataStmt(rng *rand.Rand) Stmt {
+	base := pickVar(rng)
+	return Stmt{
+		Head: []string{fmt.Sprintf("if (%s != NULL) {", base)},
+		Body: []Stmt{simple(fmt.Sprintf("%s->data = %d;", base, rng.Intn(100)))},
+		Tail: "}",
+	}
+}
+
+// walkStmt emits a bounded traversal loop along one field.
+func walkStmt(rng *rand.Rand, fields []string) Stmt {
+	v := pickVar(rng)
+	f := pickOf(rng, fields)
+	body := []Stmt{simple(fmt.Sprintf("%s = %s->%s;", v, v, f))}
+	if rng.Intn(3) == 0 {
+		body = append([]Stmt{simple(fmt.Sprintf("%s->data = %s->data + 1;", v, v))}, body...)
+	}
+	body = append(body, simple("i = i - 1;"))
+	return Stmt{
+		Head: []string{
+			fmt.Sprintf("i = %d;", rng.Intn(5)+1),
+			fmt.Sprintf("while (i > 0 && %s != NULL) {", v),
+		},
+		Body: body,
+		Tail: "}",
+	}
+}
+
+// ---------------------------------------------------------------------------
+// TwoWayLL
+
+const twoWayDecl = `type TwoWayLL [X] {
+    int data;
+    TwoWayLL *next is uniquely forward along X;
+    TwoWayLL *prev is backward along X;
+};
+`
+
+const twoWayBuilder = `void build(TwoWayLL *hd, int n) {
+    TwoWayLL *tail, *node;
+    int k;
+    tail = hd;
+    k = 1;
+    while (k < n) {
+        node = new TwoWayLL;
+        node->data = k;
+        tail->next = node;
+        node->prev = tail;
+        tail = node;
+        k = k + 1;
+    }
+}
+`
+
+const twoWayMain = `int main(int n) {
+    TwoWayLL *root;
+    root = new TwoWayLL;
+    root->data = 0;
+    build(root, n);
+    fuzzed(root);
+    return 0;
+}
+`
+
+// insertList is the break-and-repair idiom: splice a fresh node after b.
+// Between the first store and the last, the two-way invariant is violated
+// and then restored — the temporary-violation pattern of Section 5.1.1.
+func insertList(rng *rand.Rand) Stmt {
+	base := pickVar(rng)
+	tmp := pickVar(rng)
+	if tmp == base {
+		tmp = "d"
+	}
+	if tmp == base { // base was d
+		tmp = "c"
+	}
+	return Stmt{
+		Head: []string{fmt.Sprintf("if (%s != NULL) {", base)},
+		Body: []Stmt{
+			simple(fmt.Sprintf("%s = new TwoWayLL;", tmp)),
+			simple(fmt.Sprintf("%s->next = %s->next;", tmp, base)),
+			{
+				Head: []string{fmt.Sprintf("if (%s->next != NULL) {", tmp)},
+				Body: []Stmt{simple(fmt.Sprintf("%s->next->prev = %s;", tmp, tmp))},
+				Tail: "}",
+			},
+			simple(fmt.Sprintf("%s->next = %s;", base, tmp)),
+			simple(fmt.Sprintf("%s->prev = %s;", tmp, base)),
+		},
+		Tail: "}",
+	}
+}
+
+func emitList(rng *rand.Rand, pr Profile) Stmt {
+	fields := []string{"next", "prev"}
+	max := 7
+	if pr.Mutate {
+		max = 10
+	}
+	switch rng.Intn(max) {
+	case 0:
+		return copyStmt(rng)
+	case 1:
+		return nullStmt(rng)
+	case 2:
+		return newStmt(rng, "TwoWayLL")
+	case 3, 4:
+		return derefStmt(rng, fields)
+	case 5:
+		return dataStmt(rng)
+	case 6:
+		return walkStmt(rng, fields)
+	case 7, 8:
+		return storeStmt(rng, fields)
+	default:
+		return insertList(rng)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// PBinTree
+
+const treeDecl = `type PBinTree [down] {
+    int data;
+    PBinTree *left, *right is uniquely forward along down;
+    PBinTree *parent is backward along down;
+};
+`
+
+const treeBuilder = `void grow(PBinTree *t, int d) {
+    PBinTree *l, *r;
+    if (d > 0) {
+        l = new PBinTree;
+        l->data = d;
+        t->left = l;
+        l->parent = t;
+        grow(l, d - 1);
+        r = new PBinTree;
+        r->data = d;
+        t->right = r;
+        r->parent = t;
+        grow(r, d - 1);
+    }
+}
+`
+
+const treeMain = `int main(int n) {
+    PBinTree *root;
+    root = new PBinTree;
+    root->data = 0;
+    grow(root, n);
+    fuzzed(root);
+    return 0;
+}
+`
+
+// attachLeaf grows a fresh leaf under b with its parent back-link — a
+// combined-group (Defs 4.7-4.8) mutation that keeps the declaration intact.
+func attachLeaf(rng *rand.Rand) Stmt {
+	base := pickVar(rng)
+	tmp := pickVar(rng)
+	if tmp == base {
+		tmp = "d"
+	}
+	if tmp == base {
+		tmp = "c"
+	}
+	child := pickOf(rng, []string{"left", "right"})
+	return Stmt{
+		Head: []string{fmt.Sprintf("if (%s != NULL && %s->%s == NULL) {", base, base, child)},
+		Body: []Stmt{
+			simple(fmt.Sprintf("%s = new PBinTree;", tmp)),
+			simple(fmt.Sprintf("%s->%s = %s;", base, child, tmp)),
+			simple(fmt.Sprintf("%s->parent = %s;", tmp, base)),
+		},
+		Tail: "}",
+	}
+}
+
+func emitTree(rng *rand.Rand, pr Profile) Stmt {
+	down := []string{"left", "right"}
+	all := []string{"left", "right", "parent"}
+	max := 7
+	if pr.Mutate {
+		max = 10
+	}
+	switch rng.Intn(max) {
+	case 0:
+		return copyStmt(rng)
+	case 1:
+		return nullStmt(rng)
+	case 2:
+		return newStmt(rng, "PBinTree")
+	case 3, 4:
+		return derefStmt(rng, all)
+	case 5:
+		return dataStmt(rng)
+	case 6:
+		return walkStmt(rng, down)
+	case 7, 8:
+		return storeStmt(rng, all)
+	default:
+		return attachLeaf(rng)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// CirL
+
+const cirDecl = `type CirL [X] {
+    int data;
+    CirL *next is circular along X;
+};
+`
+
+const cirBuilder = `void build(CirL *first, int n) {
+    CirL *cur, *node;
+    int k;
+    cur = first;
+    k = 1;
+    while (k < n) {
+        node = new CirL;
+        node->data = k;
+        cur->next = node;
+        cur = node;
+        k = k + 1;
+    }
+    cur->next = first;
+}
+`
+
+const cirMain = `int main(int n) {
+    CirL *root;
+    root = new CirL;
+    root->data = 0;
+    build(root, n);
+    fuzzed(root);
+    return 0;
+}
+`
+
+// insertRing splices a fresh node into the ring after b, preserving
+// circularity end to end.
+func insertRing(rng *rand.Rand) Stmt {
+	base := pickVar(rng)
+	tmp := pickVar(rng)
+	if tmp == base {
+		tmp = "d"
+	}
+	if tmp == base {
+		tmp = "c"
+	}
+	return Stmt{
+		Head: []string{fmt.Sprintf("if (%s != NULL) {", base)},
+		Body: []Stmt{
+			simple(fmt.Sprintf("%s = new CirL;", tmp)),
+			simple(fmt.Sprintf("%s->next = %s->next;", tmp, base)),
+			simple(fmt.Sprintf("%s->next = %s;", base, tmp)),
+		},
+		Tail: "}",
+	}
+}
+
+func emitCir(rng *rand.Rand, pr Profile) Stmt {
+	fields := []string{"next"}
+	max := 7
+	if pr.Mutate {
+		max = 10
+	}
+	switch rng.Intn(max) {
+	case 0:
+		return copyStmt(rng)
+	case 1:
+		return nullStmt(rng)
+	case 2:
+		return newStmt(rng, "CirL")
+	case 3, 4:
+		return derefStmt(rng, fields)
+	case 5:
+		return dataStmt(rng)
+	case 6:
+		return walkStmt(rng, fields)
+	case 7, 8:
+		return storeStmt(rng, fields)
+	default:
+		return insertRing(rng)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// LOLS (list of lists, where X || Y)
+
+const lolsDecl = `type LOLS [X] [Y] where X || Y {
+    int data;
+    LOLS *across is uniquely forward along X;
+    LOLS *back is backward along X;
+    LOLS *down is uniquely forward along Y;
+    LOLS *up is backward along Y;
+};
+`
+
+const lolsBuilder = `void row(LOLS *hd, int n) {
+    LOLS *cur, *node;
+    int k;
+    cur = hd;
+    k = 1;
+    while (k < n) {
+        node = new LOLS;
+        node->data = k;
+        cur->across = node;
+        node->back = cur;
+        cur = node;
+        k = k + 1;
+    }
+}
+void build(LOLS *first, int n) {
+    LOLS *cur, *node;
+    int k;
+    row(first, n);
+    cur = first;
+    k = 1;
+    while (k < n) {
+        node = new LOLS;
+        node->data = k;
+        row(node, n);
+        cur->down = node;
+        node->up = cur;
+        cur = node;
+        k = k + 1;
+    }
+}
+`
+
+const lolsMain = `int main(int n) {
+    LOLS *root;
+    root = new LOLS;
+    root->data = 0;
+    build(root, n);
+    fuzzed(root);
+    return 0;
+}
+`
+
+func emitLols(rng *rand.Rand, pr Profile) Stmt {
+	fwd := []string{"across", "down"}
+	all := []string{"across", "back", "down", "up"}
+	max := 7
+	if pr.Mutate {
+		max = 9
+	}
+	switch rng.Intn(max) {
+	case 0:
+		return copyStmt(rng)
+	case 1:
+		return nullStmt(rng)
+	case 2:
+		return newStmt(rng, "LOLS")
+	case 3, 4:
+		return derefStmt(rng, all)
+	case 5:
+		return dataStmt(rng)
+	case 6:
+		return walkStmt(rng, fwd)
+	default:
+		return storeStmt(rng, all)
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+var specs = map[string]*structureSpec{
+	"TwoWayLL": {typeName: "TwoWayLL", decl: twoWayDecl, builder: twoWayBuilder, mainSrc: twoWayMain, emit: emitList},
+	"PBinTree": {typeName: "PBinTree", decl: treeDecl, builder: treeBuilder, mainSrc: treeMain, emit: emitTree},
+	"CirL":     {typeName: "CirL", decl: cirDecl, builder: cirBuilder, mainSrc: cirMain, emit: emitCir},
+	"LOLS":     {typeName: "LOLS", decl: lolsDecl, builder: lolsBuilder, mainSrc: lolsMain, emit: emitLols},
+}
+
+func specFor(name string) *structureSpec {
+	s, ok := specs[name]
+	if !ok {
+		panic("gen: unknown structure " + name)
+	}
+	return s
+}
+
+// Structures lists the structure names Generate can produce.
+func Structures() []string {
+	return []string{"TwoWayLL", "PBinTree", "CirL", "LOLS"}
+}

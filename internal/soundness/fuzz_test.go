@@ -1,13 +1,15 @@
 package soundness
 
 import (
-	"fmt"
-	"math/rand"
+	"flag"
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 
 	"repro/internal/alias"
 	"repro/internal/alias/klimit"
+	"repro/internal/gen"
 	"repro/internal/interp"
 	"repro/internal/norm"
 	"repro/internal/source/parser"
@@ -16,127 +18,89 @@ import (
 	"repro/internal/structures"
 )
 
-// genProgram builds a random mini function over TwoWayLL: assignments,
-// guarded dereferences in both directions, guarded stores (which may
-// temporarily or permanently break the declared abstraction — the
-// validation machinery must keep the analysis sound regardless), fresh
-// allocations, and bounded traversal loops.
-func genProgram(rng *rand.Rand, nStmts int) string {
-	vars := []string{"a", "b", "c", "d"}
-	pick := func() string { return vars[rng.Intn(len(vars))] }
-	field := func() string {
-		if rng.Intn(2) == 0 {
-			return "next"
-		}
-		return "prev"
-	}
+// fuzzSeed offsets every seed range below, so a campaign failure found by
+// addsfuzz replays here directly:
+//
+//	go test ./internal/soundness/ -addsfuzz.seed=4217
+//
+// The ADDS_FUZZ_SEED environment variable is the CI-friendly spelling;
+// the flag wins when both are set.
+var fuzzSeed = flag.Int64("addsfuzz.seed", 0, "base seed for the soundness fuzz tests")
 
-	var b strings.Builder
-	b.WriteString(twoWayLL)
-	b.WriteString(`
-void fuzzed(TwoWayLL *a) {
-    TwoWayLL *b, *c, *d;
-    int i;
-    b = a;
-    c = a;
-    d = a;
-`)
-	for s := 0; s < nStmts; s++ {
-		switch rng.Intn(8) {
-		case 0:
-			fmt.Fprintf(&b, "    %s = %s;\n", pick(), pick())
-		case 1:
-			fmt.Fprintf(&b, "    %s = NULL;\n", pick())
-		case 2:
-			fmt.Fprintf(&b, "    %s = new TwoWayLL;\n", pick())
-		case 3:
-			src := pick()
-			fmt.Fprintf(&b, "    if (%s != NULL) { %s = %s->%s; }\n",
-				src, pick(), src, field())
-		case 4:
-			base := pick()
-			fmt.Fprintf(&b, "    if (%s != NULL) { %s->%s = %s; }\n",
-				base, base, field(), pick())
-		case 5:
-			base := pick()
-			fmt.Fprintf(&b, "    if (%s != NULL) { %s->%s = NULL; }\n",
-				base, base, field())
-		case 6:
-			v := pick()
-			fmt.Fprintf(&b, `    i = %d;
-    while (i > 0 && %s != NULL) {
-        %s = %s->next;
-        i = i - 1;
-    }
-`, rng.Intn(5)+1, v, v, v)
-		case 7:
-			base := pick()
-			fmt.Fprintf(&b, "    if (%s != NULL) { %s->data = %d; }\n",
-				base, base, rng.Intn(100))
-		}
+func baseSeed(t *testing.T) int64 {
+	if *fuzzSeed != 0 {
+		return *fuzzSeed
 	}
-	b.WriteString("}\n")
-	return b.String()
+	if env := os.Getenv("ADDS_FUZZ_SEED"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("ADDS_FUZZ_SEED: %v", err)
+		}
+		return v
+	}
+	return 0
 }
 
-// TestFuzzOracleSoundness generates random pointer-shuffling programs,
-// executes them, and verifies every dynamically observed alias is admitted
-// by every oracle. This covers states the hand-written fixtures cannot:
-// arbitrary interleavings of abstraction breaks and repairs.
-func TestFuzzOracleSoundness(t *testing.T) {
-	const programs = 150
-	for seed := int64(0); seed < programs; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		src := genProgram(rng, 6+rng.Intn(10))
+// loadGenerated renders and loads one generated program, failing the test
+// on any generator regression.
+func loadGenerated(t *testing.T, seed int64, pr gen.Profile) (*types.Info, []byte) {
+	t.Helper()
+	src := gen.Generate(seed, pr).Source()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("seed %d: generated program does not parse: %v\n%s", seed, err, src)
+	}
+	info, errs := types.Check(prog)
+	if len(errs) > 0 {
+		t.Fatalf("seed %d: generated program does not check: %v\n%s", seed, errs[0], src)
+	}
+	return info, src
+}
 
-		prog, err := parser.Parse([]byte(src))
-		if err != nil {
-			t.Fatalf("seed %d: generated program does not parse: %v\n%s", seed, err, src)
-		}
-		info, errs := types.Check(prog)
-		if len(errs) > 0 {
-			t.Fatalf("seed %d: generated program does not check: %v\n%s", seed, errs[0], src)
-		}
-		fi := info.Func("fuzzed")
-		g := norm.Build(fi, info.Env)
+// runSoundness executes fuzzed against the given roots and checks every
+// observed alias against every oracle — the shared body of the list and
+// tree fuzzers, now driven by internal/gen instead of per-test generators.
+func runSoundness(t *testing.T, seed int64, pr gen.Profile, build func(h *interp.Heap, run int) *interp.Node) {
+	t.Helper()
+	info, src := loadGenerated(t, seed, pr)
+	fi := info.Func("fuzzed")
+	g := norm.Build(fi, info.Env)
 
-		oracles := []alias.Oracle{
-			alias.NewGPM(g, info.Env),
-			alias.NewClassic(g, info.Env),
-			alias.NewConservative(g),
-			klimit.Analyze(g, info.Env, 2),
-		}
+	oracles := []alias.Oracle{
+		alias.NewGPM(g, info.Env),
+		alias.NewClassic(g, info.Env),
+		alias.NewConservative(g),
+		klimit.Analyze(g, info.Env, 2),
+	}
 
-		for run := 0; run < 3; run++ {
-			in := interp.New(prog)
-			in.MaxSteps = 1 << 16
-			tr := &tracer{
-				ptrVars:  fi.PointerVars(),
-				observed: map[token.Pos]map[[2]string]bool{},
+	for run := 0; run < 3; run++ {
+		in := interp.New(info.Prog)
+		in.MaxSteps = 1 << 16
+		tr := &tracer{
+			ptrVars:  fi.PointerVars(),
+			observed: map[token.Pos]map[[2]string]bool{},
+		}
+		in.Tracer = tr
+		root := build(in.Heap, run)
+		if _, err := in.Call("fuzzed", interp.PtrVal(root)); err != nil {
+			// Mutations can create cycles whose traversal exhausts the
+			// step budget, or dangling NULL derefs the guards missed;
+			// partial executions still produced valid observations.
+			if !strings.Contains(err.Error(), "step budget") &&
+				!strings.Contains(err.Error(), "NULL") {
+				t.Fatalf("seed %d: %v\n%s", seed, err, src)
 			}
-			in.Tracer = tr
-			hd := structures.TwoWayList(in.Heap, nil, 3+run*2)
-			if _, err := in.Call("fuzzed", interp.PtrVal(hd)); err != nil {
-				// Mutations can create cycles whose traversal exhausts the
-				// step budget, or dangling NULL derefs the guards missed;
-				// partial executions still produced valid observations.
-				if !strings.Contains(err.Error(), "step budget") &&
-					!strings.Contains(err.Error(), "NULL") {
-					t.Fatalf("seed %d: %v\n%s", seed, err, src)
-				}
+		}
+		for pos, pairs := range tr.observed {
+			n := nodeAtPos(g, pos)
+			if n == nil {
+				continue
 			}
-
-			for pos, pairs := range tr.observed {
-				n := nodeAtPos(g, pos)
-				if n == nil {
-					continue
-				}
-				for pair := range pairs {
-					for _, o := range oracles {
-						if !o.MayAlias(n, pair[0], pair[1]) {
-							t.Errorf("seed %d run %d: oracle %s misses real alias %s==%s before %s\n%s",
-								seed, run, o.Name(), pair[0], pair[1], pos, src)
-						}
+			for pair := range pairs {
+				for _, o := range oracles {
+					if !o.MayAlias(n, pair[0], pair[1]) {
+						t.Errorf("seed %d run %d: oracle %s misses real alias %s==%s before %s\n%s",
+							seed, run, o.Name(), pair[0], pair[1], pos, src)
 					}
 				}
 			}
@@ -144,20 +108,48 @@ func TestFuzzOracleSoundness(t *testing.T) {
 	}
 }
 
+// TestFuzzOracleSoundness generates random pointer-shuffling list programs
+// (via internal/gen, the same generator addsfuzz campaigns use), executes
+// them, and verifies every dynamically observed alias is admitted by every
+// oracle. This covers states the hand-written fixtures cannot: arbitrary
+// interleavings of abstraction breaks and repairs.
+func TestFuzzOracleSoundness(t *testing.T) {
+	const programs = 150
+	pr, err := gen.ProfileByName("list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := baseSeed(t)
+	for seed := base; seed < base+programs; seed++ {
+		runSoundness(t, seed, pr, func(h *interp.Heap, run int) *interp.Node {
+			return structures.TwoWayList(h, nil, 3+run*2)
+		})
+	}
+}
+
+// TestFuzzTreeOracleSoundness is the tree counterpart: combined-group
+// (Defs 4.7-4.8) and backward (Def 4.6) rules far beyond the fixtures.
+func TestFuzzTreeOracleSoundness(t *testing.T) {
+	const programs = 150
+	pr, err := gen.ProfileByName("tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := baseSeed(t) + 1000
+	for seed := base; seed < base+programs; seed++ {
+		runSoundness(t, seed, pr, func(h *interp.Heap, run int) *interp.Node {
+			return structures.PerfectTree(h, 3+run)
+		})
+	}
+}
+
 // TestFuzzAnalysisTermination stresses the fixed-point machinery with
 // larger random programs: the analysis must terminate and never panic.
 func TestFuzzAnalysisTermination(t *testing.T) {
-	for seed := int64(100); seed < 130; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		src := genProgram(rng, 40)
-		prog, err := parser.Parse([]byte(src))
-		if err != nil {
-			t.Fatal(err)
-		}
-		info, errs := types.Check(prog)
-		if len(errs) > 0 {
-			t.Fatal(errs[0])
-		}
+	big := gen.Profile{Name: "big-list", Structure: "TwoWayLL", MinStmts: 40, MaxStmts: 40, Mutate: true}
+	base := baseSeed(t) + 100
+	for seed := base; seed < base+30; seed++ {
+		info, _ := loadGenerated(t, seed, big)
 		fi := info.Func("fuzzed")
 		g := norm.Build(fi, info.Env)
 		o := alias.NewGPM(g, info.Env)
@@ -165,124 +157,6 @@ func TestFuzzAnalysisTermination(t *testing.T) {
 		for _, l := range g.Loops {
 			o.LoopCarried(l, "a", "b")
 			o.LoopCarried(l, "b", "b")
-		}
-	}
-}
-
-// genTreeProgram builds a random PBinTree-shuffling function: guarded
-// child/parent dereferences and child stores with parent back-links —
-// exercising the combined-group (Defs 4.7-4.8) and backward (Def 4.6)
-// rules far beyond the fixed fixtures.
-func genTreeProgram(rng *rand.Rand, nStmts int) string {
-	vars := []string{"a", "b", "c", "d"}
-	pick := func() string { return vars[rng.Intn(len(vars))] }
-	child := func() string {
-		if rng.Intn(2) == 0 {
-			return "left"
-		}
-		return "right"
-	}
-
-	var sb strings.Builder
-	sb.WriteString(pBinTree)
-	sb.WriteString(`
-void fuzzed(PBinTree *a) {
-    PBinTree *b, *c, *d;
-    int i;
-    b = a;
-    c = a;
-    d = a;
-`)
-	for s := 0; s < nStmts; s++ {
-		switch rng.Intn(7) {
-		case 0:
-			fmt.Fprintf(&sb, "    %s = %s;\n", pick(), pick())
-		case 1:
-			src := pick()
-			fmt.Fprintf(&sb, "    if (%s != NULL) { %s = %s->%s; }\n",
-				src, pick(), src, child())
-		case 2:
-			src := pick()
-			fmt.Fprintf(&sb, "    if (%s != NULL) { %s = %s->parent; }\n",
-				src, pick(), src)
-		case 3:
-			base := pick()
-			fmt.Fprintf(&sb, "    if (%s != NULL) { %s->%s = %s; }\n",
-				base, base, child(), pick())
-		case 4:
-			base := pick()
-			fmt.Fprintf(&sb, "    if (%s != NULL) { %s->parent = %s; }\n",
-				base, base, pick())
-		case 5:
-			fmt.Fprintf(&sb, "    %s = new PBinTree;\n", pick())
-		case 6:
-			v := pick()
-			fmt.Fprintf(&sb, `    i = %d;
-    while (i > 0 && %s != NULL) {
-        %s = %s->%s;
-        i = i - 1;
-    }
-`, rng.Intn(4)+1, v, v, v, child())
-		}
-	}
-	sb.WriteString("}\n")
-	return sb.String()
-}
-
-// TestFuzzTreeOracleSoundness is the tree counterpart of the list fuzzer.
-func TestFuzzTreeOracleSoundness(t *testing.T) {
-	const programs = 150
-	for seed := int64(1000); seed < 1000+programs; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		src := genTreeProgram(rng, 6+rng.Intn(10))
-
-		prog, err := parser.Parse([]byte(src))
-		if err != nil {
-			t.Fatalf("seed %d: %v\n%s", seed, err, src)
-		}
-		info, errs := types.Check(prog)
-		if len(errs) > 0 {
-			t.Fatalf("seed %d: %v\n%s", seed, errs[0], src)
-		}
-		fi := info.Func("fuzzed")
-		g := norm.Build(fi, info.Env)
-
-		oracles := []alias.Oracle{
-			alias.NewGPM(g, info.Env),
-			alias.NewClassic(g, info.Env),
-			alias.NewConservative(g),
-			klimit.Analyze(g, info.Env, 2),
-		}
-
-		for run := 0; run < 3; run++ {
-			in := interp.New(prog)
-			in.MaxSteps = 1 << 16
-			tr := &tracer{
-				ptrVars:  fi.PointerVars(),
-				observed: map[token.Pos]map[[2]string]bool{},
-			}
-			in.Tracer = tr
-			root := structures.PerfectTree(in.Heap, 3+run)
-			if _, err := in.Call("fuzzed", interp.PtrVal(root)); err != nil {
-				if !strings.Contains(err.Error(), "step budget") &&
-					!strings.Contains(err.Error(), "NULL") {
-					t.Fatalf("seed %d: %v\n%s", seed, err, src)
-				}
-			}
-			for pos, pairs := range tr.observed {
-				n := nodeAtPos(g, pos)
-				if n == nil {
-					continue
-				}
-				for pair := range pairs {
-					for _, o := range oracles {
-						if !o.MayAlias(n, pair[0], pair[1]) {
-							t.Errorf("seed %d run %d: oracle %s misses real alias %s==%s before %s\n%s",
-								seed, run, o.Name(), pair[0], pair[1], pos, src)
-						}
-					}
-				}
-			}
 		}
 	}
 }

@@ -1,0 +1,224 @@
+package soundness
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/core/pathmatrix"
+	"repro/internal/interp"
+	"repro/internal/norm"
+	"repro/internal/source/parser"
+	"repro/internal/source/token"
+	"repro/internal/source/types"
+	"repro/internal/structures"
+)
+
+// checkAllObserved executes fuzzed on a small list and requires GPM to
+// admit every dynamically observed alias — the shared body of the
+// regression tests below (each a shrunk addsfuzz campaign finding).
+func checkAllObserved(t *testing.T, src string) {
+	t.Helper()
+	checkAllObservedOn(t, src, func(h *interp.Heap) *interp.Node {
+		return structures.TwoWayList(h, nil, 2)
+	})
+}
+
+func checkAllObservedOn(t *testing.T, src string, build func(h *interp.Heap) *interp.Node) {
+	t.Helper()
+	prog, err := parser.Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, errs := types.Check(prog)
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	fi := info.Func("fuzzed")
+	g := norm.Build(fi, info.Env)
+	o := alias.NewGPM(g, info.Env)
+	in := interp.New(prog)
+	tr := &tracer{ptrVars: fi.PointerVars(), observed: map[token.Pos]map[[2]string]bool{}}
+	in.Tracer = tr
+	hd := build(in.Heap)
+	if _, err := in.Call("fuzzed", interp.PtrVal(hd)); err != nil {
+		t.Fatal(err)
+	}
+	for pos, pairs := range tr.observed {
+		n := nodeAtPos(g, pos)
+		if n == nil {
+			continue
+		}
+		for pair := range pairs {
+			if !o.MayAlias(n, pair[0], pair[1]) {
+				t.Errorf("GPM misses real alias %s==%s before %s", pair[0], pair[1], pos)
+			}
+		}
+	}
+}
+
+// TestRegressCyclicRepairWithRelatedValue: overwriting a known-cyclic edge
+// with a value whose relation to the base was derived DURING the broken
+// window (here @t = c->next, loaded through the cyclic edge itself) must
+// not restore validity — the relation can hide an alias. Shrunk from
+// addsfuzz list-profile seed 4226.
+func TestRegressCyclicRepairWithRelatedValue(t *testing.T) {
+	checkAllObserved(t, twoWayLL+`
+void fuzzed(TwoWayLL *a) {
+    TwoWayLL *b, *c, *d;
+    b = a;
+    d = a;
+    d->next = a;
+    c = b->next;
+    d->next = c->next;
+    c->next = d;
+    b = b;
+}
+`)
+}
+
+// TestRegressViolationSurvivesReassignment: after d = new, a store through
+// the fresh d overwrites a different node's edge and must not "repair" the
+// violation recorded while d named the cyclic node. Also shrunk from
+// addsfuzz seed 4226.
+func TestRegressViolationSurvivesReassignment(t *testing.T) {
+	checkAllObserved(t, twoWayLL+`
+void fuzzed(TwoWayLL *a) {
+    TwoWayLL *b, *c, *d;
+    b = a;
+    d = a;
+    d->next = a;
+    c = b->next;
+    d = new TwoWayLL;
+    d->next = c->next;
+    c->next = d;
+    b = b;
+}
+`)
+}
+
+// TestRegressBackwardEdgeSurvivesUnlink: overwriting d->next drops the
+// forward relation to the old target, but the target's prev edge still
+// reaches d's node in the heap, so c = c->prev can re-alias c with d.
+// The dropped relation must demote to the unknown relation, not vanish —
+// an empty entry claims the alias impossible. Shrunk from addsfuzz
+// mixed-profile seed 4560.
+func TestRegressBackwardEdgeSurvivesUnlink(t *testing.T) {
+	checkAllObserved(t, twoWayLL+`
+void fuzzed(TwoWayLL *a) {
+    TwoWayLL *c, *d;
+    c = a;
+    d = c;
+    c = c->next;
+    d->next = NULL;
+    c = c->prev;
+    a = a;
+}
+`)
+}
+
+// TestRegressTopRelationMirroredOnUnlink: the tree counterpart. The store
+// b->right = a demotes dropped relations to the unknown relation; that
+// demotion must go through addRel so Top lands in BOTH cells — the load
+// rules skip Entry(src, x) alias/Top relations as "mirrored", so a
+// one-sided Top vanishes on the next load and the derived pointers claim
+// non-alias. Shrunk from addsfuzz tree-profile seed 3182.
+func TestRegressTopRelationMirroredOnUnlink(t *testing.T) {
+	src := `
+type PBinTree [down] {
+    int data;
+    PBinTree *left, *right is uniquely forward along down;
+    PBinTree *parent is backward along down;
+};
+void fuzzed(PBinTree *a) {
+    PBinTree *b, *c, *d;
+    int i;
+    c = a;
+    d = a;
+    i = 2;
+    while (i > 0 && c != NULL) {
+        c->data = c->data + 1;
+        c = c->right;
+        i = i - 1;
+    }
+    b = d;
+    if (b != NULL && b->right == NULL) {
+        a = new PBinTree;
+        b->right = a;
+        a->parent = b;
+    }
+    if (a != NULL) {
+        d = a->right;
+    }
+    d = d->right;
+    b = b;
+}
+`
+	checkAllObservedOn(t, src, func(h *interp.Heap) *interp.Node {
+		return structures.PerfectTree(h, 2)
+	})
+}
+
+// TestRegressDepartureCanClimbBack: a path that leaves src through a
+// sibling field but then takes a backward step can climb back out of the
+// sibling subtree and re-enter fld's (left.parent.right from a left child
+// IS src->right), so it must not count as a provably disjoint departure —
+// the subtree arguments of Defs 4.7-4.9 only apply to descending paths.
+// Shrunk from addsfuzz readonly-profile seed 12409.
+func TestRegressDepartureCanClimbBack(t *testing.T) {
+	src := `
+type PBinTree [down] {
+    int data;
+    PBinTree *left, *right is uniquely forward along down;
+    PBinTree *parent is backward along down;
+};
+void fuzzed(PBinTree *a) {
+    PBinTree *b, *d;
+    d = a;
+    b = d->left;
+    a = d->right;
+    b = b->parent;
+    b = b->right;
+    d = d;
+}
+`
+	checkAllObservedOn(t, src, func(h *interp.Heap) *interp.Node {
+		return structures.PerfectTree(h, 2)
+	})
+}
+
+// TestRegressDeletionIdiomStaysValid guards the precision side of the fix:
+// from a valid state, the node-deletion idiom p->next = p->next->next uses
+// the same matrix pattern (base forward-reaches src at store time) and
+// must stay violation-free.
+func TestRegressDeletionIdiomStaysValid(t *testing.T) {
+	src := twoWayLL + `
+void fuzzed(TwoWayLL *p) {
+    TwoWayLL *t;
+    if (p != NULL) {
+        t = p->next;
+        if (t != NULL) {
+            p->next = t->next;
+        }
+    }
+}
+`
+	prog, err := parser.Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, errs := types.Check(prog)
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	fi := info.Func("fuzzed")
+	g := norm.Build(fi, info.Env)
+	res := pathmatrix.Analyze(g, info.Env)
+	for _, n := range g.Nodes {
+		if n.Kind != norm.NodeStmt {
+			continue
+		}
+		if m := res.BeforeNode(n); !m.Valid() {
+			t.Errorf("deletion idiom flagged invalid before %s: %v", n.Stmt.Pos, m.Violations())
+		}
+	}
+}

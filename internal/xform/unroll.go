@@ -116,7 +116,11 @@ func unrollScheduled(p *ir.Program, l *ir.LoopInfo, pat *listPattern, k int, opt
 	return out, nil
 }
 
-// unrollPlain replicates test + body k times with one back edge.
+// unrollPlain replicates test + body k times with one back edge. Labels
+// defined inside the body (an if/else lowers to internal labels) are
+// renamed per copy and their branches retargeted, so every copy branches
+// within itself — without this, all copies would share one label name and
+// any body branch would resolve into a different copy.
 func unrollPlain(p *ir.Program, l *ir.LoopInfo, k int) *ir.Program {
 	out := &ir.Program{Name: p.Name + "_unroll", Params: append([]string(nil), p.Params...)}
 	emit := func(in *ir.Instr) { out.Instrs = append(out.Instrs, in) }
@@ -125,11 +129,26 @@ func unrollPlain(p *ir.Program, l *ir.LoopInfo, k int) *ir.Program {
 	for _, in := range p.Instrs[:headIdx] {
 		emit(in.Clone())
 	}
+	body := p.Instrs[l.TestStart:l.BodyEnd]
+	internal := map[string]bool{}
+	for _, in := range body {
+		if in.Op == ir.Label {
+			internal[in.Name] = true
+		}
+	}
 	head := l.HeadLabel + "_u"
 	emit(&ir.Instr{Op: ir.Label, Name: head})
 	for c := 0; c < k; c++ {
-		for _, in := range p.Instrs[l.TestStart:l.BodyEnd] {
-			emit(in.Clone())
+		suffix := fmt.Sprintf("$%d", c)
+		for _, in := range body {
+			cl := in.Clone()
+			if cl.Op == ir.Label && internal[cl.Name] {
+				cl.Name += suffix
+			}
+			if (cl.Op == ir.Br || cl.Op == ir.Goto) && internal[cl.Target] {
+				cl.Target += suffix
+			}
+			emit(cl)
 		}
 	}
 	emit(&ir.Instr{Op: ir.Goto, Target: head})

@@ -507,3 +507,63 @@ func TestPipelineInfoString(t *testing.T) {
 		t.Error("program print sanity")
 	}
 }
+
+// TestUnrollPlainLabelRenaming: a loop whose body lowers to internal labels
+// (an if/else) takes the plain-replication path, where every copy's labels
+// must be renamed and its branches retargeted within that copy. Without the
+// renaming all copies share one label name, so a body branch in copy 0
+// resolves into a later copy and the unrolled program skips work.
+func TestUnrollPlainLabelRenaming(t *testing.T) {
+	src := twoWayLL + `
+void f(TwoWayLL *p) {
+    while (p != NULL) {
+        if (p->x > 15) {
+            p->x = p->x - 100;
+        } else {
+            p->x = p->x + 1;
+        }
+        p = p->next;
+    }
+}
+`
+	f := setup(t, src, "f")
+	if _, err := matchListLoop(f.prog, f.loop); err == nil {
+		t.Fatal("fixture must take the plain-unroll path")
+	}
+	for _, k := range []int{2, 3} {
+		u, err := Unroll(f.prog, f.loop, k, f.gpmOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, in := range u.Instrs {
+			if in.Op == ir.Label {
+				if seen[in.Name] {
+					t.Fatalf("k=%d: duplicate label %q\n%s", k, in.Name, u.String())
+				}
+				seen[in.Name] = true
+			}
+		}
+		for _, n := range []int{0, 1, 2, 3, 5, 10} {
+			h1 := interp.NewHeap()
+			hd1 := buildList(h1, n)
+			if _, err := machine.RunScalar(f.prog, machine.DefaultScalar(), h1, map[string]machine.Word{"p": machine.RefWord(hd1)}); err != nil {
+				t.Fatal(err)
+			}
+			h2 := interp.NewHeap()
+			hd2 := buildList(h2, n)
+			if _, err := machine.RunScalar(u, machine.DefaultScalar(), h2, map[string]machine.Word{"p": machine.RefWord(hd2)}); err != nil {
+				t.Fatalf("k=%d n=%d: %v\n%s", k, n, err, u.String())
+			}
+			v1, v2 := listValues(hd1), listValues(hd2)
+			if len(v1) != len(v2) {
+				t.Fatalf("k=%d n=%d: list lengths differ", k, n)
+			}
+			for i := range v1 {
+				if v1[i] != v2[i] {
+					t.Fatalf("k=%d n=%d: values differ: %v vs %v", k, n, v1, v2)
+				}
+			}
+		}
+	}
+}
