@@ -33,6 +33,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/norm"
+	"repro/internal/obs"
 	"repro/internal/shape"
 	"repro/internal/source/ast"
 	"repro/internal/source/parser"
@@ -72,7 +73,17 @@ type (
 	PipelineInfo = xform.PipelineInfo
 	// CheckViolation is a dynamic ADDS-property violation.
 	CheckViolation = interp.CheckViolation
+	// Tracer collects phase spans for the whole pipeline; wire one in with
+	// WithTracer (or an obs-carrying context) and read the finished traces
+	// from its ring. See internal/obs for the span model.
+	Tracer = obs.Tracer
+	// Span is one timed phase of a trace; all methods are nil-safe.
+	Span = obs.Span
 )
+
+// NewTracer returns a tracer whose ring keeps the last n finished traces
+// (n <= 0 selects the obs default).
+func NewTracer(n int) *Tracer { return obs.NewTracer(n) }
 
 // Value and word constructors, re-exported.
 var (
@@ -94,11 +105,20 @@ type Unit struct {
 // Load parses and type-checks mini source. Parse and type diagnostics are
 // reported as a *SourceError carrying the first position (errors.As).
 func Load(src []byte) (*Unit, error) {
+	return LoadCtx(context.Background(), src)
+}
+
+// LoadCtx is Load under a context. When the context carries a tracer (see
+// WithTracer and obs.With), the front-end phases land as "parse", "shape",
+// and "typecheck" spans; otherwise the context costs three nil checks.
+func LoadCtx(ctx context.Context, src []byte) (*Unit, error) {
+	_, span := obs.Start(ctx, "parse")
 	prog, err := parser.Parse(src)
+	span.End()
 	if err != nil {
 		return nil, wrapParseErr(err)
 	}
-	info, errs := types.Check(prog)
+	info, errs := types.CheckCtx(ctx, prog)
 	if len(errs) > 0 {
 		return nil, wrapTypeErrs(errs)
 	}
@@ -140,15 +160,19 @@ type Analysis struct {
 }
 
 // Analyze runs general path matrix analysis (with the ADDS declarations)
-// over the named function and prepares its IR. It is a thin wrapper over
-// the context-first AnalyzeOpt.
+// over the named function and prepares its IR.
+//
+// Deprecated: use AnalyzeOpt, the context-first entry point this wraps —
+// it cancels, traces, and takes the functional options.
 func (u *Unit) Analyze(fn string) (*Analysis, error) {
 	return u.AnalyzeOpt(context.Background(), fn)
 }
 
 // AnalyzeAll analyzes every function of the unit with a bounded worker pool
-// (workers <= 0 means one per CPU). It is a thin wrapper over the
-// option-taking AnalyzeAllOpt.
+// (workers <= 0 means one per CPU).
+//
+// Deprecated: use AnalyzeAllOpt with WithWorkers — options are the one
+// configuration path of the facade.
 func (u *Unit) AnalyzeAll(ctx context.Context, workers int) (map[string]*Analysis, error) {
 	return u.AnalyzeAllOpt(ctx, WithWorkers(workers))
 }
@@ -218,6 +242,15 @@ func (a *Analysis) options(i int, o Oracle) depgraph.Options {
 
 // Dependences builds the dependence graph of loop i under the oracle.
 func (a *Analysis) Dependences(i int, o Oracle) *DepGraph {
+	return a.DependencesCtx(context.Background(), i, o)
+}
+
+// DependencesCtx is Dependences under a context: when the context carries
+// a tracer, the build lands as a "depgraph" span with the loop index.
+func (a *Analysis) DependencesCtx(ctx context.Context, i int, o Oracle) *DepGraph {
+	_, span := obs.Start(ctx, "depgraph")
+	defer span.End()
+	span.SetAttr("loop", i)
 	return depgraph.Build(a.prog, a.prog.Loops[i], a.options(i, o))
 }
 
@@ -231,12 +264,22 @@ func (a *Analysis) AnalyzePipeline(i int, o Oracle, width int) PipelineInfo {
 // the ADDS-informed oracle, following the paper's Section 5.2 derivation.
 // A bad loop index reports ErrNoSuchLoop, a non-positive width ErrBadWidth.
 func (a *Analysis) Pipeline(i, width int) (*VLIWProgram, PipelineInfo, error) {
+	return a.PipelineCtx(context.Background(), i, width)
+}
+
+// PipelineCtx is Pipeline under a context: with a tracer the derivation
+// lands as a "pipeline" span carrying the loop index and width.
+func (a *Analysis) PipelineCtx(ctx context.Context, i, width int) (*VLIWProgram, PipelineInfo, error) {
 	if err := a.CheckLoop(i); err != nil {
 		return nil, PipelineInfo{}, err
 	}
 	if err := checkWidth(width); err != nil {
 		return nil, PipelineInfo{}, err
 	}
+	_, span := obs.Start(ctx, "pipeline")
+	defer span.End()
+	span.SetAttr("loop", i)
+	span.SetAttr("width", width)
 	pl, err := xform.EmitPipelined(a.prog, a.prog.Loops[i], a.options(i, a.GPMOracle()), width)
 	if err != nil {
 		return nil, PipelineInfo{}, err
@@ -247,16 +290,36 @@ func (a *Analysis) Pipeline(i, width int) (*VLIWProgram, PipelineInfo, error) {
 // Unroll returns loop i unrolled k times for the scalar machine. A bad loop
 // index reports ErrNoSuchLoop.
 func (a *Analysis) Unroll(i, k int) (*IRProgram, error) {
+	return a.UnrollCtx(context.Background(), i, k)
+}
+
+// UnrollCtx is Unroll under a context: with a tracer the transformation
+// lands as an "unroll" span.
+func (a *Analysis) UnrollCtx(ctx context.Context, i, k int) (*IRProgram, error) {
 	if err := a.CheckLoop(i); err != nil {
 		return nil, err
 	}
+	_, span := obs.Start(ctx, "unroll")
+	defer span.End()
+	span.SetAttr("loop", i)
+	span.SetAttr("factor", k)
 	return xform.Unroll(a.prog, a.prog.Loops[i], k, a.options(i, a.GPMOracle()))
 }
 
 // LICM hoists loop-invariant loads of loop i under the oracle and returns
 // the transformed program plus how many loads moved.
 func (a *Analysis) LICM(i int, o Oracle) (*IRProgram, int) {
+	return a.LICMCtx(context.Background(), i, o)
+}
+
+// LICMCtx is LICM under a context: with a tracer the pass lands as a
+// "licm" span carrying the hoist count.
+func (a *Analysis) LICMCtx(ctx context.Context, i int, o Oracle) (*IRProgram, int) {
+	_, span := obs.Start(ctx, "licm")
+	defer span.End()
+	span.SetAttr("loop", i)
 	p, _, hoisted := xform.LICM(a.prog, a.prog.Loops[i], a.options(i, o))
+	span.SetAttr("hoisted", len(hoisted))
 	return p, len(hoisted)
 }
 

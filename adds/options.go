@@ -9,6 +9,7 @@ import (
 	"repro/internal/core/pathmatrix"
 	"repro/internal/ir"
 	"repro/internal/norm"
+	"repro/internal/obs"
 )
 
 // OracleKind selects an alias oracle by name instead of by constructing one
@@ -66,6 +67,7 @@ type config struct {
 	k        int
 	countCap int // 0 = package default
 	maxSteps int // 0 = package default
+	tracer   *Tracer
 }
 
 func defaultConfig() config { return config{oracle: GPM, k: 2} }
@@ -96,6 +98,15 @@ func WithCountCap(k int) Option { return func(c *config) { c.countCap = k } }
 // (pathmatrix.MaxSteps) for this analysis, with the same serialization
 // caveat as WithCountCap.
 func WithMaxSteps(n int) Option { return func(c *config) { c.maxSteps = n } }
+
+// WithTracer attaches a tracer to the analysis so every phase (parse and
+// typecheck happen in LoadCtx; normalization, the per-statement fixpoint,
+// IR building, and the transformation helpers here) lands as a span on one
+// trace. It composes with a context that already carries a tracer (the
+// daemon's request middleware); the option wins when both are set. Without
+// either, instrumented code runs the nil-tracer fast path — one context
+// lookup and one nil check per phase.
+func WithTracer(t *Tracer) Option { return func(c *config) { c.tracer = t } }
 
 // capMu guards the engine's ablation knobs (pathmatrix.CountCap/MaxSteps):
 // analyses under default caps share a read lock; an analysis overriding
@@ -138,19 +149,28 @@ func (u *Unit) AnalyzeOpt(ctx context.Context, fn string, opts ...Option) (*Anal
 	if fi == nil {
 		return nil, fmt.Errorf("adds: %w: %q not declared", ErrUnknownFunction, fn)
 	}
+	if cfg.tracer != nil {
+		ctx = obs.With(ctx, cfg.tracer)
+	}
 	var an *Analysis
 	err := withCaps(cfg, func() error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		_, span := obs.Start(ctx, "normalize")
+		span.SetAttr("fn", fn)
 		g := norm.Build(fi, u.Info.Env)
+		span.End()
 		r, err := pathmatrix.AnalyzeCtx(ctx, g, u.Info.Env)
 		if err != nil {
 			return err
 		}
+		_, span = obs.Start(ctx, "ir")
+		prog := ir.Build(fi, u.Info.Env)
+		span.End()
 		an = &Analysis{
 			Unit: u, Fn: fi, Graph: g, GPM: r,
-			prog: ir.Build(fi, u.Info.Env), cfg: cfg,
+			prog: prog, cfg: cfg,
 		}
 		return nil
 	})
@@ -169,6 +189,9 @@ func (u *Unit) AnalyzeAllOpt(ctx context.Context, opts ...Option) (map[string]*A
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.tracer != nil {
+		ctx = obs.With(ctx, cfg.tracer)
+	}
 	var out map[string]*Analysis
 	err := withCaps(cfg, func() error {
 		frs, err := pathmatrix.AnalyzeProgramCtx(ctx, u.Info, u.Info.Env, cfg.workers)
@@ -177,9 +200,13 @@ func (u *Unit) AnalyzeAllOpt(ctx context.Context, opts ...Option) (map[string]*A
 		}
 		out = make(map[string]*Analysis, len(frs))
 		for name, fr := range frs {
+			_, span := obs.Start(ctx, "ir")
+			span.SetAttr("fn", name)
+			prog := ir.Build(fr.Info, u.Info.Env)
+			span.End()
 			out[name] = &Analysis{
 				Unit: u, Fn: fr.Info, Graph: fr.Graph, GPM: fr.Result,
-				prog: ir.Build(fr.Info, u.Info.Env), cfg: cfg,
+				prog: prog, cfg: cfg,
 			}
 		}
 		return nil

@@ -9,6 +9,7 @@
 //	addsbench E4 E6      # run selected experiments
 //	addsbench -par 4     # run experiments concurrently (same output)
 //	addsbench -list      # list experiment ids and titles
+//	addsbench -format json E4
 //
 // Exit codes follow the shared adds convention: 0 ok, 1 internal or unknown
 // experiment, 2 flag misuse; typed facade errors surfacing from experiment
@@ -16,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,8 +25,10 @@ import (
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/adds"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -44,17 +48,37 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	fs := flag.NewFlagSet("addsbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list experiments without running them")
-	par := fs.Int("par", 1, "experiment worker count (0 = one per CPU)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	par := cli.RegisterPar(fs, "experiment")
+	format := cli.RegisterFormat(fs, "text", "text", "json")
+	lf := cli.RegisterLogFlags(fs, "text")
 	if err := fs.Parse(args); err != nil {
 		return adds.ExitUsage
 	}
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "addsbench:", err)
-		return adds.ExitCode(err)
+		return cli.ExitCode(err)
+	}
+	if err := cli.CheckFormat("addsbench", *format, "text", "json"); err != nil {
+		return fail(err)
+	}
+	lg, err := lf.Logger(stderr)
+	if err != nil {
+		return fail(err)
 	}
 
 	if *list {
+		if *format == "json" {
+			type row struct {
+				ID    string `json:"id"`
+				Title string `json:"title"`
+			}
+			rows := []row{}
+			for _, d := range adds.ExperimentDefs() {
+				rows = append(rows, row{ID: d.ID, Title: d.Title})
+			}
+			return writeIndentedJSON(stdout, stderr, fail, rows)
+		}
 		for _, d := range adds.ExperimentDefs() {
 			fmt.Fprintf(stdout, "%-4s %s\n", d.ID, d.Title)
 		}
@@ -102,10 +126,11 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	if workers > len(toRun) {
 		workers = len(toRun)
 	}
-	outputs := make([]string, len(toRun))
+	start := time.Now()
+	reports := make([]*adds.Report, len(toRun))
 	if workers <= 1 {
 		for i, d := range toRun {
-			outputs[i] = d.Run().Format()
+			reports[i] = d.Run()
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -123,7 +148,7 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 					}
 				}()
 				for i := range next {
-					outputs[i] = toRun[i].Run().Format()
+					reports[i] = toRun[i].Run()
 				}
 			}(w)
 		}
@@ -138,8 +163,27 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 			}
 		}
 	}
-	for _, out := range outputs {
-		fmt.Fprintln(stdout, out)
+	lg.Debug("experiments complete", "count", len(reports), "workers", workers,
+		"elapsed", time.Since(start))
+
+	if *format == "json" {
+		if s := writeIndentedJSON(stdout, stderr, fail, reports); s != 0 {
+			return s
+		}
+		return status
+	}
+	for _, rep := range reports {
+		fmt.Fprintln(stdout, rep.Format())
 	}
 	return status
+}
+
+func writeIndentedJSON(stdout, stderr io.Writer, fail func(error) int, v any) int {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return fail(err)
+	}
+	return 0
 }

@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	addsc -fn shift -show matrix,deps,ir prog.mini
+//	addsc -fn shift -show matrix,deps prog.mini
 //	addsc -fn shift -show pipeline -width 8 prog.mini
 //	addsc -fn shift -oracle conservative -show deps prog.mini
 //	addsc -show check prog.mini          # parse + type-check only
 //	addsc -par 4 -show matrix prog.mini  # analyze functions in parallel
 //	addsc -format json prog.mini         # the addsd wire encoding, to stdout
+//	addsc -trace -fn shift prog.mini     # span tree of the run, to stderr
 //
 // Exit codes are shared across the adds tools: 0 ok, 1 internal, 2 usage,
 // 3 source error, 4 unknown function, 5 no such loop, 6 bad width.
@@ -28,6 +29,8 @@ import (
 	"strings"
 
 	"repro/adds"
+	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -50,31 +53,39 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	fs.SetOutput(stderr)
 	fn := fs.String("fn", "", "function to analyze (default: every function)")
 	show := fs.String("show", "matrix", "comma-separated: check,ir,matrix,iter,deps,dot,validate,pipeline,unroll")
-	oracleName := fs.String("oracle", "gpm", "alias oracle: gpm, classic, conservative, klimit")
-	k := fs.Int("k", 2, "k for the k-limited oracle")
 	width := fs.Int("width", 8, "VLIW width for -show pipeline")
 	unroll := fs.Int("unroll", 3, "factor for -show unroll")
-	par := fs.Int("par", 0, "analysis worker count (0 = one per CPU, 1 = serial)")
-	format := fs.String("format", "text", "output format: text or json (the addsd wire encoding)")
+	trace := fs.Bool("trace", false, "trace the run and render the span tree to stderr")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	of := cli.RegisterOracleFlags(fs)
+	par := cli.RegisterPar(fs, "analysis")
+	format := cli.RegisterFormat(fs, "text", "text", "json")
+	lf := cli.RegisterLogFlags(fs, "text")
 	if err := fs.Parse(args); err != nil {
 		return adds.ExitUsage
 	}
 
+	// fail reports one error the one-line way and picks the shared exit code
+	// for its class, so scripts can branch on status without parsing text.
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "addsc:", err)
+		return cli.ExitCode(err)
+	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: addsc [flags] file.mini")
 		fs.Usage()
 		return adds.ExitUsage
 	}
-	if *format != "text" && *format != "json" {
-		fmt.Fprintf(stderr, "addsc: unknown -format %q (known: text, json)\n", *format)
-		return adds.ExitUsage
+	if err := cli.CheckFormat("addsc", *format, "text", "json"); err != nil {
+		return fail(err)
 	}
-	// fail reports one error the one-line way and picks the shared exit code
-	// for its class, so scripts can branch on status without parsing text.
-	fail := func(err error) int {
-		fmt.Fprintln(stderr, "addsc:", err)
-		return adds.ExitCode(err)
+	lg, err := lf.Logger(stderr)
+	if err != nil {
+		return fail(err)
+	}
+	kind, err := of.Kind()
+	if err != nil {
+		return fail(err)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -106,13 +117,31 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 		wants[s] = true
 	}
 
+	// With -trace the whole run happens under one root span; every phase the
+	// facade opens (parse, typecheck, shape, normalize, fixpoint, ir, and the
+	// transformation helpers) nests below it, and the tree renders to stderr
+	// on the way out — including failed runs, where the partial tree shows
+	// which phase died.
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	var root *obs.Span
+	if *trace {
+		tracer = obs.NewTracer(1)
+		ctx, root = tracer.StartRoot(ctx, "addsc", obs.TraceID{})
+		defer func() {
+			root.End()
+			t := tracer.Ring().Get(root.TraceID())
+			obs.WriteTree(stderr, t)
+		}()
+	}
+
 	// JSON mode goes through the same builders as the addsd endpoints, so
 	// the CLI and the daemon can never disagree about the wire encoding.
 	if *format == "json" {
-		return runJSON(stdout, stderr, fail, string(src), *fn, *oracleName, *k, *par, *width, wants["pipeline"])
+		return runJSON(ctx, stdout, stderr, fail, string(src), *fn, of.Name, of.K, *par, *width, wants["pipeline"])
 	}
 
-	unit, err := adds.Load(src)
+	unit, err := adds.LoadCtx(ctx, src)
 	if err != nil {
 		return fail(err)
 	}
@@ -127,14 +156,14 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	var fns []string
 	analyses := map[string]*adds.Analysis{}
 	if *fn != "" {
-		an, err := unit.Analyze(*fn)
+		an, err := unit.AnalyzeOpt(ctx, *fn)
 		if err != nil {
 			return fail(err)
 		}
 		fns = []string{*fn}
 		analyses[*fn] = an
 	} else {
-		analyses, err = unit.AnalyzeAll(context.Background(), *par)
+		analyses, err = unit.AnalyzeAllOpt(ctx, adds.WithWorkers(*par))
 		if err != nil {
 			return fail(err)
 		}
@@ -142,16 +171,13 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 			fns = append(fns, fd.Name)
 		}
 	}
+	lg.Debug("analysis complete", "functions", len(fns), "oracle", kind.String())
 
 	for _, name := range fns {
 		an := analyses[name]
 		fmt.Fprintf(stdout, "=== function %s ===\n", name)
 
-		oracle, err := pickOracle(an, *oracleName, *k)
-		if err != nil {
-			fmt.Fprintln(stderr, "addsc:", err)
-			return adds.ExitUsage
-		}
+		oracle := pickOracle(an, kind, of.K)
 
 		if wants["ir"] {
 			fmt.Fprintln(stdout, "pseudo-assembly:")
@@ -177,7 +203,7 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 		}
 		if wants["deps"] || wants["dot"] {
 			for i := 0; i < an.Loops(); i++ {
-				dg := an.Dependences(i, oracle)
+				dg := an.DependencesCtx(ctx, i, oracle)
 				if wants["deps"] {
 					fmt.Fprintln(stdout, dg.String())
 				}
@@ -188,7 +214,7 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 		}
 		if wants["pipeline"] {
 			for i := 0; i < an.Loops(); i++ {
-				prog, info, err := an.Pipeline(i, *width)
+				prog, info, err := an.PipelineCtx(ctx, i, *width)
 				if err != nil {
 					fmt.Fprintf(stdout, "loop %d: not pipelined: %v\n", i, err)
 					continue
@@ -200,7 +226,7 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 		}
 		if wants["unroll"] {
 			for i := 0; i < an.Loops(); i++ {
-				u, err := an.Unroll(i, *unroll)
+				u, err := an.UnrollCtx(ctx, i, *unroll)
 				if err != nil {
 					fmt.Fprintf(stdout, "loop %d: not unrolled: %v\n", i, err)
 					continue
@@ -215,7 +241,7 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 
 // runJSON prints the daemon's wire encoding: an AnalyzeResponse, plus one
 // PipelineResponse per loop when -show pipeline was requested.
-func runJSON(stdout, stderr io.Writer, fail func(error) int, src, fn, oracle string, k, par, width int, withPipeline bool) int {
+func runJSON(ctx context.Context, stdout, stderr io.Writer, fail func(error) int, src, fn, oracle string, k, par, width int, withPipeline bool) int {
 	// Request-shape mistakes (an unknown oracle) are usage errors here, the
 	// same class the flag parser reports.
 	jfail := func(err error) int {
@@ -225,7 +251,6 @@ func runJSON(stdout, stderr io.Writer, fail func(error) int, src, fn, oracle str
 		}
 		return fail(err)
 	}
-	ctx := context.Background()
 	resp, err := service.BuildAnalyze(ctx, &service.AnalyzeRequest{
 		Source: src, Fn: fn, Oracle: oracle, K: k, Workers: par,
 	})
@@ -258,16 +283,14 @@ func runJSON(stdout, stderr io.Writer, fail func(error) int, src, fn, oracle str
 	return 0
 }
 
-func pickOracle(an *adds.Analysis, name string, k int) (adds.Oracle, error) {
-	switch name {
-	case "gpm":
-		return an.GPMOracle(), nil
-	case "classic":
-		return an.ClassicOracle(), nil
-	case "conservative":
-		return an.ConservativeOracle(), nil
-	case "klimit":
-		return an.KLimitedOracle(k), nil
+func pickOracle(an *adds.Analysis, kind adds.OracleKind, k int) adds.Oracle {
+	switch kind {
+	case adds.Classic:
+		return an.ClassicOracle()
+	case adds.Conservative:
+		return an.ConservativeOracle()
+	case adds.KLimited:
+		return an.KLimitedOracle(k)
 	}
-	return nil, fmt.Errorf("unknown oracle %q", name)
+	return an.GPMOracle()
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -189,5 +190,111 @@ func TestJSONPipeline(t *testing.T) {
 	}
 	if len(resp.Pipelines) == 0 {
 		t.Fatal("no pipeline responses in JSON output")
+	}
+}
+
+// traceLine is one parsed span-tree line: nesting depth, span name, and
+// the printed duration.
+type traceLine struct {
+	depth int
+	name  string
+	ms    float64
+	attrs string
+}
+
+func parseTraceTree(t *testing.T, stderr string) []traceLine {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(stderr, "\n"), "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "trace ") {
+		t.Fatalf("stderr does not start with a trace header:\n%s", stderr)
+	}
+	var out []traceLine
+	for _, line := range lines[1:] {
+		trimmed := strings.TrimLeft(line, " ")
+		indent := len(line) - len(trimmed)
+		fields := strings.Fields(trimmed)
+		if len(fields) < 2 || !strings.HasSuffix(fields[1], "ms") {
+			t.Fatalf("unparseable span line %q in:\n%s", line, stderr)
+		}
+		var ms float64
+		if _, err := fmt.Sscanf(fields[1], "%fms", &ms); err != nil {
+			t.Fatalf("bad duration in %q: %v", line, err)
+		}
+		out = append(out, traceLine{
+			depth: indent / 2,
+			name:  fields[0],
+			ms:    ms,
+			attrs: strings.Join(fields[2:], " "),
+		})
+	}
+	return out
+}
+
+// TestTraceSpanTree: -trace renders the whole run as one span tree on
+// stderr — root "addsc", the analysis phases as its children in pipeline
+// order, the fixpoint span carrying engine stats — and the phase durations
+// are explained by (sum to no more than) the root's.
+func TestTraceSpanTree(t *testing.T) {
+	f := filepath.Join("..", "..", "examples", "shift.mini")
+	status, out, stderr := runCmd(t, "-trace", "-fn", "shift", "-show", "deps", f)
+	if status != 0 {
+		t.Fatalf("status %d, stderr:\n%s", status, stderr)
+	}
+	if !strings.Contains(out, "=== function shift ===") {
+		t.Errorf("stdout lost the analysis output:\n%s", out)
+	}
+
+	spans := parseTraceTree(t, stderr)
+	if len(spans) == 0 || spans[0].name != "addsc" || spans[0].depth != 0 {
+		t.Fatalf("first span is not the addsc root: %+v", spans)
+	}
+	var phaseOrder []string
+	var phaseSum float64
+	for _, sp := range spans[1:] {
+		if sp.depth == 1 {
+			phaseOrder = append(phaseOrder, sp.name)
+			phaseSum += sp.ms
+		}
+		if sp.name == "fixpoint" && !strings.Contains(sp.attrs, "iterations=") {
+			t.Errorf("fixpoint span has no iterations attr: %q", sp.attrs)
+		}
+	}
+	want := []string{"parse", "shape", "typecheck", "normalize", "fixpoint", "ir", "depgraph"}
+	if strings.Join(phaseOrder, ",") != strings.Join(want, ",") {
+		t.Errorf("phase order = %v, want %v", phaseOrder, want)
+	}
+	// Printed durations round to 0.01ms, so allow one rounding step per
+	// phase of slack.
+	if slack := 0.01 * float64(len(phaseOrder)+1); phaseSum > spans[0].ms+slack {
+		t.Errorf("phases sum to %.2fms, more than the %.2fms root", phaseSum, spans[0].ms)
+	}
+}
+
+// TestTraceJSONModeKeepsStdoutClean: -trace with -format json must not
+// corrupt the wire output (the tree goes to stderr).
+func TestTraceJSONModeKeepsStdoutClean(t *testing.T) {
+	f := filepath.Join("..", "..", "examples", "shift.mini")
+	status, out, stderr := runCmd(t, "-trace", "-format", "json", f)
+	if status != 0 {
+		t.Fatalf("status %d, stderr:\n%s", status, stderr)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("stdout is not JSON with -trace: %v", err)
+	}
+	if !strings.Contains(stderr, "trace ") || !strings.Contains(stderr, "fixpoint") {
+		t.Errorf("stderr has no span tree:\n%s", stderr)
+	}
+}
+
+// TestLogFlagValidation: the shared -log-level/-log-format vocabulary is
+// enforced with usage errors.
+func TestLogFlagValidation(t *testing.T) {
+	good := writeTemp(t, "void f() { return; }")
+	if status, _, _ := runCmd(t, "-log-level", "loud", good); status != adds.ExitUsage {
+		t.Errorf("-log-level loud status = %d, want %d", status, adds.ExitUsage)
+	}
+	if status, _, _ := runCmd(t, "-log-format", "xml", good); status != adds.ExitUsage {
+		t.Errorf("-log-format xml status = %d, want %d", status, adds.ExitUsage)
 	}
 }

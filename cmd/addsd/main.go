@@ -16,7 +16,10 @@
 // admission queue sheds excess requests with 429 + Retry-After instead of
 // stacking goroutines.
 //
-// Observability: GET /metrics (Prometheus text format), GET /healthz, and
+// Observability: GET /metrics (Prometheus text format, including per-phase
+// duration histograms), GET /healthz, GET /debug/trace/{id} (recent traces;
+// send a W3C traceparent header to pick the trace id), one structured
+// access-log line per request on stderr (-log-format json by default), and
 // the standard /debug/pprof endpoints.
 package main
 
@@ -33,6 +36,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -48,10 +53,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:7117", "listen address")
 	cacheEntries := fs.Int("cache", 512, "maximum cached results")
-	workers := fs.Int("workers", 0, "concurrent analyses (0 = one per CPU)")
+	var workers int
+	fs.IntVar(&workers, "workers", 0, "concurrent analyses (0 = one per CPU)")
+	fs.IntVar(&workers, "par", 0, "alias for -workers (the shared adds spelling)")
 	queue := fs.Int("queue", 0, "analyses queued for a worker before shedding with 429 (0 = 4x workers, negative = no queue)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-analysis budget (bounds the shared flight, not one client's wait)")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
+	traceRing := fs.Int("trace-ring", obs.DefaultRingSize, "finished traces kept for /debug/trace/{id}")
+	lf := cli.RegisterLogFlags(fs, "json")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -60,12 +69,19 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fs.Usage()
 		return 2
 	}
+	logger, err := lf.Logger(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "addsd:", err)
+		return cli.ExitCode(err)
+	}
 
 	svc := service.New(service.Config{
 		CacheEntries:   *cacheEntries,
-		Workers:        *workers,
+		Workers:        workers,
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
+		Logger:         logger,
+		TraceRing:      *traceRing,
 	})
 
 	// Install the signal handler before announcing readiness so a SIGTERM

@@ -7,14 +7,15 @@
 //
 // Usage:
 //
-//	addsfuzz -seed 1 -budget 5000 -jobs 4
+//	addsfuzz -seed 1 -budget 5000 -par 4
 //	addsfuzz -profile list -budget 1000 -corpus out/corpus
+//	addsfuzz -budget 5000 -log-format json   # machine-readable progress
 //
 // The JSON triage report goes to stdout and is deterministic for a given
-// (seed, budget, profile) whatever the job count; throughput (execs/sec)
-// and progress go to stderr. Exit status 0 means the campaign ran clean,
-// 7 (ExitDivergence) that it found at least one divergence, 2 flag
-// misuse, 1 internal failure.
+// (seed, budget, profile) whatever the job count; progress goes to stderr
+// as structured slog records (programs, execs/sec, divergences so far).
+// Exit status 0 means the campaign ran clean, 7 (ExitDivergence) that it
+// found at least one divergence, 2 flag misuse, 1 internal failure.
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"repro/adds"
+	"repro/internal/cli"
 	"repro/internal/difftest"
 	"repro/internal/gen"
 )
@@ -52,16 +54,24 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	fs.SetOutput(stderr)
 	seed := fs.Int64("seed", 1, "base seed; program i uses seed+i")
 	budget := fs.Int("budget", 1000, "total number of generated programs")
-	jobs := fs.Int("jobs", 0, "parallel workers (0 = GOMAXPROCS)")
+	var jobs int
+	fs.IntVar(&jobs, "par", 0, "parallel workers (0 = one per CPU)")
+	fs.IntVar(&jobs, "jobs", 0, "alias for -par")
 	profile := fs.String("profile", "", "comma-separated generation profiles (empty = all: "+profileNames()+")")
 	corpus := fs.String("corpus", "", "directory for minimized repros and triage records")
 	checks := fs.String("checks", "", "comma-separated checks (empty = all: "+strings.Join(difftest.AllChecks(), ",")+")")
+	lf := cli.RegisterLogFlags(fs, "text")
 	if err := fs.Parse(args); err != nil {
 		return adds.ExitUsage
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintln(stderr, "usage: addsfuzz [flags]")
 		return adds.ExitUsage
+	}
+	lg, err := lf.Logger(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "addsfuzz:", err)
+		return cli.ExitCode(err)
 	}
 	if *budget <= 0 {
 		fmt.Fprintln(stderr, "addsfuzz: -budget must be positive")
@@ -83,7 +93,7 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	c := difftest.Campaign{
 		Seed:      *seed,
 		Budget:    *budget,
-		Jobs:      *jobs,
+		Jobs:      jobs,
 		Profiles:  splitList(*profile),
 		CorpusDir: *corpus,
 		Config:    difftest.Config{Checks: splitList(*checks)},
@@ -93,6 +103,9 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	// so worker throughput never blocks on terminal writes.
 	var done atomic.Int64
 	c.Progress = func(d, total int) { done.Store(int64(d)) }
+
+	lg.Info("campaign start", "seed", *seed, "budget", *budget, "jobs", jobs,
+		"profiles", *profile, "checks", *checks)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -110,8 +123,8 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 			case <-tick.C:
 				d := done.Load()
 				el := time.Since(start).Seconds()
-				fmt.Fprintf(stderr, "addsfuzz: %d/%d programs, %.0f execs/sec\n",
-					d, *budget, float64(d)/el)
+				lg.Info("campaign progress", "programs", d, "budget", *budget,
+					"execsPerSec", int64(float64(d)/el))
 			}
 		}
 	}()
@@ -125,8 +138,15 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	}
 
 	el := time.Since(start)
-	fmt.Fprintf(stderr, "addsfuzz: %d programs in %.1fs (%.0f execs/sec), %d divergences\n",
-		rep.Programs, el.Seconds(), float64(rep.Programs)/el.Seconds(), len(rep.Divergences))
+	lg.Info("campaign done", "programs", rep.Programs,
+		"elapsed", el.Round(time.Millisecond),
+		"execsPerSec", int64(float64(rep.Programs)/el.Seconds()),
+		"divergences", len(rep.Divergences))
+	for _, d := range rep.Divergences {
+		lg.Warn("divergence", "check", d.Check, "profile", d.Profile,
+			"seed", d.Seed, "hash", d.Hash, "minHash", d.MinHash,
+			"minStmts", d.MinStmts)
+	}
 
 	js, err := difftest.MarshalReport(rep)
 	if err != nil {

@@ -27,8 +27,8 @@ func TestRunCleanCampaign(t *testing.T) {
 	if rep.Programs != 12 || len(rep.Divergences) != 0 {
 		t.Fatalf("programs = %d, divergences = %d", rep.Programs, len(rep.Divergences))
 	}
-	if !strings.Contains(errb.String(), "execs/sec") {
-		t.Fatalf("stderr has no throughput line:\n%s", errb.String())
+	if !strings.Contains(errb.String(), "execsPerSec") {
+		t.Fatalf("stderr has no throughput record:\n%s", errb.String())
 	}
 }
 

@@ -1,0 +1,80 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/adds"
+)
+
+func TestUsageErrorExitCode(t *testing.T) {
+	if got := ExitCode(Usagef("bad flag %q", "x")); got != adds.ExitUsage {
+		t.Fatalf("usage error exit = %d, want %d", got, adds.ExitUsage)
+	}
+	if got := ExitCode(adds.ErrNoSuchLoop); got != adds.ExitNoLoop {
+		t.Fatalf("non-usage error exit = %d, want %d", got, adds.ExitNoLoop)
+	}
+	// Wrapped usage errors still classify.
+	wrapped := errors.Join(Usagef("inner"), errors.New("outer"))
+	if got := ExitCode(wrapped); got != adds.ExitUsage {
+		t.Fatalf("wrapped usage error exit = %d, want %d", got, adds.ExitUsage)
+	}
+}
+
+func TestLogFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	lf := RegisterLogFlags(fs, "text")
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	lg, err := lf.Logger(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("visible")
+	if !strings.Contains(b.String(), `"msg":"visible"`) {
+		t.Errorf("debug line missing: %q", b.String())
+	}
+
+	lf.Level = "loud"
+	if _, err := lf.Logger(io.Discard); ExitCode(err) != adds.ExitUsage {
+		t.Errorf("bad level should be a usage error, got %v", err)
+	}
+	lf.Level, lf.Format = "info", "xml"
+	if _, err := lf.Logger(io.Discard); ExitCode(err) != adds.ExitUsage {
+		t.Errorf("bad format should be a usage error, got %v", err)
+	}
+}
+
+func TestOracleFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	of := RegisterOracleFlags(fs)
+	if err := fs.Parse([]string{"-oracle", "klimit", "-k", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	kind, err := of.Kind()
+	if err != nil || kind != adds.KLimited || of.K != 3 {
+		t.Fatalf("kind=%v k=%d err=%v", kind, of.K, err)
+	}
+	of.Name = "psychic"
+	if _, err := of.Kind(); ExitCode(err) != adds.ExitUsage {
+		t.Errorf("unknown oracle should be a usage error, got %v", err)
+	}
+}
+
+func TestFormatVocabulary(t *testing.T) {
+	if err := CheckFormat("addsc", "json", "text", "json"); err != nil {
+		t.Fatal(err)
+	}
+	err := CheckFormat("addsc", "yaml", "text", "json")
+	if ExitCode(err) != adds.ExitUsage {
+		t.Fatalf("unknown format should be a usage error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "yaml") {
+		t.Errorf("error should name the bad value: %v", err)
+	}
+}

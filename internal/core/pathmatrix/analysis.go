@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/norm"
+	"repro/internal/obs"
 	"repro/internal/shape"
 	"repro/internal/source/types"
 )
@@ -111,6 +112,14 @@ func AnalyzeCtx(ctx context.Context, g *norm.Graph, env *shape.Env) (*Result, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// The fixpoint span covers the whole per-statement worklist run. When no
+	// tracer rides the context this is one nil check; when one does, the
+	// engine stats land as span attributes so a slow analysis can name its
+	// cost (clone counts are process-wide deltas: exact when serial,
+	// indicative under concurrent analyses).
+	_, span := obs.Start(ctx, "fixpoint")
+	clones0 := engineStats.clones.Load()
+	widenings := 0
 	res := &Result{
 		Graph:  g,
 		Env:    env,
@@ -183,6 +192,8 @@ func AnalyzeCtx(ctx context.Context, g *norm.Graph, env *shape.Env) (*Result, er
 		}
 		if iter&ctxCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
+				span.SetAttr("cancelled", true)
+				span.End()
 				return nil, err
 			}
 		}
@@ -198,6 +209,7 @@ func AnalyzeCtx(ctx context.Context, g *norm.Graph, env *shape.Env) (*Result, er
 		if visits[n.ID]++; visits[n.ID] > nodeVisitBudget {
 			if visits[n.ID] == nodeVisitBudget+1 {
 				engineStats.widenings.Add(1)
+				widenings++
 			}
 			if widened == nil {
 				widened = widenedMatrix(g)
@@ -258,6 +270,15 @@ func AnalyzeCtx(ctx context.Context, g *norm.Graph, env *shape.Env) (*Result, er
 	}
 	engineStats.analyses.Add(1)
 	engineStats.iterations.Add(uint64(iter))
+	if span != nil {
+		span.SetAttr("fn", g.Fn.Decl.Name)
+		span.SetAttr("nodes", len(g.Nodes))
+		span.SetAttr("iterations", iter)
+		span.SetAttr("widenings", widenings)
+		span.SetAttr("matrixClones", engineStats.clones.Load()-clones0)
+		span.SetAttr("internedPaths", InternerStats())
+		span.End()
+	}
 	return res, nil
 }
 
@@ -553,8 +574,11 @@ func AnalyzeProgramCtx(ctx context.Context, info *types.Info, env *shape.Env, wo
 
 	analyzeOne := func(name string) (*FuncResult, error) {
 		fi := info.Funcs[name]
+		fctx, span := obs.Start(ctx, "analyze")
+		span.SetAttr("fn", name)
 		g := norm.Build(fi, info.Env)
-		r, err := AnalyzeCtx(ctx, g, env)
+		r, err := AnalyzeCtx(fctx, g, env)
+		span.End()
 		if err != nil {
 			return nil, err
 		}

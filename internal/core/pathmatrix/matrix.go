@@ -119,6 +119,7 @@ func (m *Matrix) Vars() []string { return m.vars }
 // Clone returns a logically deep copy in O(1): both matrices drop in-place
 // mutation rights and copy on their next write.
 func (m *Matrix) Clone() *Matrix {
+	engineStats.clones.Add(1)
 	m.sharedCells, m.sharedViols = true, true
 	m.recycleOwned()
 	out := getMatrix()

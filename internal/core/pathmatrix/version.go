@@ -16,6 +16,7 @@ type Stats struct {
 	Analyses      uint64 // completed AnalyzeCtx runs
 	Iterations    uint64 // fixed-point worklist iterations across all runs
 	Widenings     uint64 // nodes forcibly widened after exhausting the budget
+	Clones        uint64 // COW matrix clones across all runs
 	InternedPaths uint64 // distinct paths in the intern table (gauge)
 }
 
@@ -23,6 +24,7 @@ var engineStats struct {
 	analyses   atomic.Uint64
 	iterations atomic.Uint64
 	widenings  atomic.Uint64
+	clones     atomic.Uint64
 }
 
 // ReadStats returns the engine counters. InternedPaths is read from the
@@ -33,6 +35,7 @@ func ReadStats() Stats {
 		Analyses:      engineStats.analyses.Load(),
 		Iterations:    engineStats.iterations.Load(),
 		Widenings:     engineStats.widenings.Load(),
+		Clones:        engineStats.clones.Load(),
 		InternedPaths: uint64(InternerStats()),
 	}
 }

@@ -1,0 +1,68 @@
+package obs
+
+import "sync"
+
+// DefaultRingSize is how many finished traces the ring keeps when the
+// caller does not size it.
+const DefaultRingSize = 128
+
+// Ring is a bounded buffer of recently finished traces, indexed by trace
+// id so /debug/trace/{id} can explain a slow request after the fact. The
+// oldest trace is evicted when a new one arrives at capacity.
+type Ring struct {
+	mu    sync.Mutex
+	cap   int
+	order []TraceID
+	byID  map[TraceID]*Trace
+}
+
+// NewRing returns a ring keeping the last n traces (n <= 0 selects
+// DefaultRingSize).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Ring{cap: n, byID: make(map[TraceID]*Trace, n)}
+}
+
+// Put records a finished trace, evicting the oldest at capacity. A trace
+// finishing twice (or two roots sharing one trace id) replaces in place.
+func (r *Ring) Put(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[t.ID]; ok {
+		r.byID[t.ID] = t
+		return
+	}
+	if len(r.order) >= r.cap {
+		oldest := r.order[0]
+		r.order = r.order[1:]
+		delete(r.byID, oldest)
+	}
+	r.order = append(r.order, t.ID)
+	r.byID[t.ID] = t
+}
+
+// Get returns the trace by id, or nil when it has been evicted or never
+// finished here.
+func (r *Ring) Get(id TraceID) *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byID[id]
+}
+
+// Len reports how many traces the ring currently holds.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}

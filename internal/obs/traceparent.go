@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// TraceID is the 16-byte W3C trace identity (rendered as 32 hex digits).
+type TraceID [16]byte
+
+// SpanID is the 8-byte W3C parent/span identity (16 hex digits).
+type SpanID [8]byte
+
+// String renders the id as lowercase hex, the traceparent spelling.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String renders the id as lowercase hex.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// idCounter sequences NewTraceID/NewSpanID so ids stay unique even if the
+// random source ever repeats; the low 8 bytes of a trace id and the low 4
+// of a span id carry randomness, the top carries the sequence.
+var idCounter atomic.Uint64
+
+// NewTraceID mints a random, non-zero trace id.
+func NewTraceID() TraceID {
+	var id TraceID
+	binary.BigEndian.PutUint64(id[:8], idCounter.Add(1))
+	rand.Read(id[8:]) //nolint:errcheck // crypto/rand never fails on supported platforms
+	return id
+}
+
+// NewSpanID mints a random, non-zero span id.
+func NewSpanID() SpanID {
+	var id SpanID
+	binary.BigEndian.PutUint32(id[:4], uint32(idCounter.Add(1)))
+	rand.Read(id[4:]) //nolint:errcheck
+	return id
+}
+
+// ParseTraceID parses 32 lowercase/uppercase hex digits.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 32 {
+		return id, fmt.Errorf("obs: trace id %q: want 32 hex digits", s)
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return id, fmt.Errorf("obs: trace id %q: %v", s, err)
+	}
+	copy(id[:], b)
+	return id, nil
+}
+
+// Traceparent is the parsed W3C trace-context header
+// (version-traceid-parentid-flags, e.g.
+// 00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01).
+type Traceparent struct {
+	TraceID TraceID
+	Parent  SpanID
+	Flags   byte
+}
+
+// ParseTraceparent parses the header per the W3C trace-context level 1
+// grammar: a 2-digit version (ff invalid), 32-digit non-zero trace id,
+// 16-digit non-zero parent id, 2-digit flags, dash-separated. Unknown
+// versions are accepted if the level-1 prefix parses, as the spec asks.
+func ParseTraceparent(h string) (Traceparent, error) {
+	var tp Traceparent
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return tp, fmt.Errorf("obs: traceparent %q: want version-traceid-parentid-flags", h)
+	}
+	ver, id, par, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(ver) != 2 || !isHex(ver) || strings.EqualFold(ver, "ff") {
+		return tp, fmt.Errorf("obs: traceparent %q: bad version %q", h, ver)
+	}
+	if ver == "00" && len(parts) != 4 {
+		return tp, fmt.Errorf("obs: traceparent %q: version 00 takes exactly 4 fields", h)
+	}
+	tid, err := ParseTraceID(id)
+	if err != nil {
+		return tp, err
+	}
+	if tid == (TraceID{}) {
+		return tp, fmt.Errorf("obs: traceparent %q: all-zero trace id", h)
+	}
+	if len(par) != 16 || !isHex(par) {
+		return tp, fmt.Errorf("obs: traceparent %q: bad parent id %q", h, par)
+	}
+	pb, _ := hex.DecodeString(par)
+	copy(tp.Parent[:], pb)
+	if tp.Parent == (SpanID{}) {
+		return tp, fmt.Errorf("obs: traceparent %q: all-zero parent id", h)
+	}
+	if len(flags) != 2 || !isHex(flags) {
+		return tp, fmt.Errorf("obs: traceparent %q: bad flags %q", h, flags)
+	}
+	fb, _ := hex.DecodeString(flags)
+	tp.TraceID, tp.Flags = tid, fb[0]
+	return tp, nil
+}
+
+// Format renders the level-1 header for propagation downstream.
+func (tp Traceparent) Format() string {
+	return fmt.Sprintf("00-%s-%s-%02x", tp.TraceID, tp.Parent, tp.Flags)
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentRoundTrip(t *testing.T) {
+	h := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	tp, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.TraceID.String() != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("trace id = %s", tp.TraceID)
+	}
+	if tp.Parent.String() != "b7ad6b7169203331" {
+		t.Errorf("parent = %s", tp.Parent)
+	}
+	if tp.Flags != 0x01 {
+		t.Errorf("flags = %02x", tp.Flags)
+	}
+	if got := tp.Format(); got != h {
+		t.Errorf("Format = %q, want %q", got, h)
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// A future version with extra fields must still yield the level-1 parts.
+	h := "cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"
+	tp, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.TraceID == (TraceID{}) {
+		t.Error("future version should parse the trace id")
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",      // missing flags
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",   // version ff
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",   // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",   // zero parent
+		"00-0af7651916cd43dd8448eb211c80319x-b7ad6b7169203331-01",   // non-hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-x", // v00 extra field
+		"00-0af7651916cd43dd8448eb211c80319c22-b7ad6b7169203331-01", // long trace id
+	}
+	for _, h := range bad {
+		if _, err := ParseTraceparent(h); err == nil {
+			t.Errorf("ParseTraceparent(%q) should fail", h)
+		}
+	}
+}
+
+func TestNewIDsUnique(t *testing.T) {
+	seenT := map[TraceID]bool{}
+	seenS := map[SpanID]bool{}
+	for i := 0; i < 1000; i++ {
+		tid, sid := NewTraceID(), NewSpanID()
+		if tid == (TraceID{}) || seenT[tid] {
+			t.Fatalf("duplicate or zero trace id %s", tid)
+		}
+		if sid == (SpanID{}) || seenS[sid] {
+			t.Fatalf("duplicate or zero span id %s", sid)
+		}
+		seenT[tid], seenS[sid] = true, true
+	}
+}
+
+func TestLoggerConstruction(t *testing.T) {
+	var b strings.Builder
+	lg, err := NewLogger(&b, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "k", 1)
+	if !strings.Contains(b.String(), `"msg":"hello"`) {
+		t.Errorf("json log = %q", b.String())
+	}
+	if _, err := NewLogger(&b, "nope", "json"); err == nil {
+		t.Error("bad level should fail")
+	}
+	if _, err := NewLogger(&b, "info", "yaml"); err == nil {
+		t.Error("bad format should fail")
+	}
+	Nop().Error("dropped") // must not panic, must not write anywhere visible
+}

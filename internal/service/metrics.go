@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,9 @@ type Metrics struct {
 	requests   map[[2]string]uint64 // {endpoint, code} -> count
 	shedBy     map[string]uint64    // endpoint -> shed count
 	flightRefs map[string]int64     // endpoint -> live flight waiters
+	phases     map[string]*histogram
+
+	fixpointIters histogram
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -32,11 +36,113 @@ type Metrics struct {
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{
+	m := &Metrics{
 		requests:   map[[2]string]uint64{},
 		shedBy:     map[string]uint64{},
 		flightRefs: map[string]int64{},
+		phases:     map[string]*histogram{},
 	}
+	m.fixpointIters.bounds = iterBounds
+	return m
+}
+
+// phaseBounds buckets phase durations (seconds): the pipeline's phases run
+// from microseconds (parse) to tens of milliseconds (fixpoints on large
+// functions), with the +Inf bucket catching pathological runs.
+var phaseBounds = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 5}
+
+// iterBounds buckets fixpoint iteration counts per analysis.
+var iterBounds = []float64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// maxPhaseSeries bounds the phase label set; span names come from a fixed
+// in-tree vocabulary, so the cap only guards against an instrumentation bug
+// minting names dynamically.
+const maxPhaseSeries = 64
+
+// histogram is a fixed-bucket Prometheus histogram (cumulative buckets plus
+// sum and count). The zero value needs bounds before first Observe.
+type histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is +Inf
+	sum    float64
+	total  uint64
+}
+
+func (h *histogram) observe(v float64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(h.bounds)+1)
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// writeProm renders the histogram with cumulative le buckets. labels is the
+// rendered label pairs without the le label ("" or `phase="parse"`).
+func (h *histogram) writeProm(w io.Writer, name, labels string) {
+	set := func(extra string) string {
+		switch {
+		case labels == "" && extra == "":
+			return ""
+		case labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + labels + "}"
+		}
+		return "{" + labels + "," + extra + "}"
+	}
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		if h.counts != nil {
+			cum += h.counts[i]
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, set(fmt.Sprintf("le=%q", trimFloat(b))), cum)
+	}
+	if h.counts != nil {
+		cum += h.counts[len(h.bounds)]
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, set(`le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, set(""), h.sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, set(""), h.total)
+}
+
+// trimFloat renders bucket bounds the Prometheus way (no trailing zeros).
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// ObservePhase records one finished pipeline phase (span) duration.
+func (m *Metrics) ObservePhase(phase string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.phases[phase]
+	if h == nil {
+		if len(m.phases) >= maxPhaseSeries {
+			return
+		}
+		h = &histogram{bounds: phaseBounds}
+		m.phases[phase] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// ObserveFixpointIters records the iteration count of one fixpoint run.
+func (m *Metrics) ObserveFixpointIters(n int) {
+	m.mu.Lock()
+	m.fixpointIters.observe(float64(n))
+	m.mu.Unlock()
+}
+
+// PhaseCount reports how many observations a phase histogram holds (tests
+// and the smoke job assert phases actually record).
+func (m *Metrics) PhaseCount(phase string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h := m.phases[phase]; h != nil {
+		return h.total
+	}
+	return 0
 }
 
 // ObserveRequest records one finished request.
@@ -178,6 +284,17 @@ func (m *Metrics) WriteProm(w io.Writer, cacheLen, poolInUse, poolCap, queued, q
 	fmt.Fprintf(w, "# TYPE addsd_request_duration_seconds_count counter\n")
 	fmt.Fprintf(w, "addsd_request_duration_seconds_count %d\n", m.latCount.Load())
 
+	m.mu.Lock()
+	fmt.Fprintf(w, "# HELP addsd_phase_duration_seconds Time per pipeline phase (span durations).\n")
+	fmt.Fprintf(w, "# TYPE addsd_phase_duration_seconds histogram\n")
+	for _, phase := range sortedKeys(m.phases) {
+		m.phases[phase].writeProm(w, "addsd_phase_duration_seconds", fmt.Sprintf("phase=%q", phase))
+	}
+	fmt.Fprintf(w, "# HELP addsd_fixpoint_iterations Worklist iterations per path-matrix fixpoint run.\n")
+	fmt.Fprintf(w, "# TYPE addsd_fixpoint_iterations histogram\n")
+	m.fixpointIters.writeProm(w, "addsd_fixpoint_iterations", "")
+	m.mu.Unlock()
+
 	es := pathmatrix.ReadStats()
 	fmt.Fprintf(w, "# HELP addsd_engine_analyses_total Completed path-matrix analyses (process-wide).\n")
 	fmt.Fprintf(w, "# TYPE addsd_engine_analyses_total counter\n")
@@ -186,6 +303,8 @@ func (m *Metrics) WriteProm(w io.Writer, cacheLen, poolInUse, poolCap, queued, q
 	fmt.Fprintf(w, "addsd_engine_iterations_total %d\n", es.Iterations)
 	fmt.Fprintf(w, "# TYPE addsd_engine_widenings_total counter\n")
 	fmt.Fprintf(w, "addsd_engine_widenings_total %d\n", es.Widenings)
+	fmt.Fprintf(w, "# TYPE addsd_engine_matrix_clones_total counter\n")
+	fmt.Fprintf(w, "addsd_engine_matrix_clones_total %d\n", es.Clones)
 	fmt.Fprintf(w, "# TYPE addsd_engine_interned_paths gauge\n")
 	fmt.Fprintf(w, "addsd_engine_interned_paths %d\n", es.InternedPaths)
 }

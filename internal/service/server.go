@@ -7,15 +7,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/adds"
 	"repro/internal/core/pathmatrix"
 	"repro/internal/exper"
+	"repro/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies; mini sources are small, and the cap
@@ -32,6 +35,10 @@ type Config struct {
 	Workers        int           // concurrent analyses (default GOMAXPROCS)
 	QueueDepth     int           // flights queued for a slot before shedding (default 4×workers; <0 = no queue)
 	RequestTimeout time.Duration // per-flight analysis budget (default 30s)
+
+	Logger    *slog.Logger // access + lifecycle log (default: discard)
+	Tracer    *obs.Tracer  // request tracer (default: fresh tracer over TraceRing)
+	TraceRing int          // finished traces kept for /debug/trace/{id} (default obs.DefaultRingSize)
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +64,8 @@ type Server struct {
 	cache   *Cache
 	pool    *pool
 	metrics *Metrics
+	logger  *slog.Logger
+	tracer  *obs.Tracer
 	mux     *http.ServeMux
 
 	// computeHook, when non-nil, replaces an endpoint's compute function.
@@ -74,17 +83,46 @@ func New(cfg Config) *Server {
 		cache:   NewCache(cfg.CacheEntries),
 		pool:    newPool(cfg.Workers, cfg.QueueDepth),
 		metrics: NewMetrics(),
+		logger:  cfg.Logger,
+		tracer:  cfg.Tracer,
 		mux:     http.NewServeMux(),
+	}
+	if s.logger == nil {
+		s.logger = obs.Nop()
+	}
+	if s.tracer == nil {
+		s.tracer = obs.NewTracer(cfg.TraceRing)
+	}
+	// Every finished span feeds the per-phase duration histograms (and the
+	// fixpoint spans their iteration counts); a tracer the caller passed in
+	// keeps its own OnEnd hook chained ahead of ours.
+	prev := s.tracer.OnEnd
+	s.tracer.OnEnd = func(rec obs.SpanRecord) {
+		if prev != nil {
+			prev(rec)
+		}
+		s.observeSpan(rec)
 	}
 	// Flights run detached from any single request's context; the request
 	// timeout bounds the shared computation, not the wait of one client.
 	s.cache.FlightTimeout = cfg.RequestTimeout
+
+	// The versioned API, plus the pre-versioning paths as deprecated
+	// aliases onto the same handlers (same cache keys, so the bodies are
+	// byte-identical — only the Deprecation/Link headers differ).
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/depgraph", s.handleDepgraph)
 	s.mux.HandleFunc("POST /v1/pipeline", s.handlePipeline)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("POST /analyze", legacy(s.handleAnalyze))
+	s.mux.HandleFunc("POST /depgraph", legacy(s.handleDepgraph))
+	s.mux.HandleFunc("POST /pipeline", legacy(s.handlePipeline))
+	s.mux.HandleFunc("GET /experiments", legacy(s.handleExperimentList))
+	s.mux.HandleFunc("GET /experiments/{id}", legacy(s.handleExperiment))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -93,20 +131,215 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// legacy wraps a /v1 handler for its pre-versioning path: the answer is the
+// v1 answer plus the RFC 8594 Deprecation header and a successor-version
+// Link pointing at the /v1 spelling.
+func legacy(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		h(w, r)
+	}
+}
+
 // Metrics exposes the registry (cmd/addsd logs a summary on shutdown).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Handler returns the daemon's root handler: the route mux wrapped with the
-// inflight/latency middleware.
+// Tracer exposes the request tracer (cmd/addsd shares it with facade-level
+// options; tests reach the trace ring through it).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// observeSpan feeds a finished span into the phase-duration histograms.
+// Root request spans are excluded — request latency already has its own
+// endpoint-labeled histogram.
+func (s *Server) observeSpan(rec obs.SpanRecord) {
+	if strings.HasPrefix(rec.Name, "http ") {
+		return
+	}
+	s.metrics.ObservePhase(rec.Name, rec.Dur)
+	if rec.Name != "fixpoint" {
+		return
+	}
+	for _, a := range rec.Attrs {
+		if a.Key != "iterations" {
+			continue
+		}
+		switch n := a.Value.(type) {
+		case int:
+			s.metrics.ObserveFixpointIters(n)
+		case int64:
+			s.metrics.ObserveFixpointIters(int(n))
+		case uint64:
+			s.metrics.ObserveFixpointIters(int(n))
+		}
+	}
+}
+
+// traced reports whether requests to this endpoint get a root span. Infra
+// scrapes (health checks, metrics, pprof, the trace viewer itself) do not:
+// a 10s healthz poll would churn the whole trace ring between two requests
+// anyone cares about.
+func traced(label string) bool {
+	switch label {
+	case "analyze", "depgraph", "pipeline", "experiments":
+		return true
+	}
+	return false
+}
+
+// reqStats is the per-request channel from serveCached back to the access
+// log: which cache outcome answered, how long the flight queued for a pool
+// slot, and whether admission shed the request. Mutex-guarded because the
+// leader's flight writes queueWait from its own goroutine.
+type reqStats struct {
+	mu         sync.Mutex
+	outcome    Outcome
+	hasOutcome bool
+	queueWait  time.Duration
+	shed       bool
+}
+
+type reqStatsKey struct{}
+
+func reqStatsFrom(ctx context.Context) *reqStats {
+	rs, _ := ctx.Value(reqStatsKey{}).(*reqStats)
+	return rs
+}
+
+func (rs *reqStats) setOutcome(o Outcome) {
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	rs.outcome, rs.hasOutcome = o, true
+	rs.mu.Unlock()
+}
+
+func (rs *reqStats) setQueueWait(d time.Duration) {
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	rs.queueWait = d
+	rs.mu.Unlock()
+}
+
+func (rs *reqStats) setShed() {
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	rs.shed = true
+	rs.mu.Unlock()
+}
+
+func (rs *reqStats) snapshot() (o Outcome, has bool, wait time.Duration, shed bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.outcome, rs.hasOutcome, rs.queueWait, rs.shed
+}
+
+// Handler returns the daemon's root handler: the route mux wrapped with
+// request-id/traceparent ingest, the root span, the typed 404/405
+// envelope, the inflight/latency metrics, and one structured access-log
+// line per request.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.RequestStarted()
 		defer s.metrics.RequestDone()
 		start := time.Now()
+		label := endpointLabel(r.URL.Path)
+
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = obs.NewSpanID().String()
+		}
+		w.Header().Set("X-Request-Id", reqID)
+
+		var root *obs.Span
+		rs := &reqStats{}
+		ctx := context.WithValue(r.Context(), reqStatsKey{}, rs)
+		if traced(label) {
+			var traceID obs.TraceID
+			if h := r.Header.Get("Traceparent"); h != "" {
+				if tp, err := obs.ParseTraceparent(h); err == nil {
+					traceID = tp.TraceID
+				}
+			}
+			ctx, root = s.tracer.StartRoot(ctx, "http "+label, traceID)
+			root.SetAttr("requestId", reqID)
+			root.SetAttr("method", r.Method)
+			root.SetAttr("path", r.URL.Path)
+			w.Header().Set("Traceparent",
+				obs.Traceparent{TraceID: root.TraceID(), Parent: root.ID(), Flags: 0x01}.Format())
+		}
+		r = r.WithContext(ctx)
+
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		s.mux.ServeHTTP(sw, r)
-		s.metrics.ObserveRequest(endpointLabel(r.URL.Path), sw.code, time.Since(start))
+		if h, pattern := s.mux.Handler(r); pattern == "" {
+			writeRouteError(sw, r, h)
+		} else {
+			s.mux.ServeHTTP(sw, r)
+		}
+
+		dur := time.Since(start)
+		if root != nil {
+			root.SetAttr("status", sw.code)
+			root.End()
+		}
+		s.metrics.ObserveRequest(label, sw.code, dur)
+
+		outcome, hasOutcome, queueWait, shed := rs.snapshot()
+		attrs := []slog.Attr{
+			slog.String("requestId", reqID),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("endpoint", label),
+			slog.Int("status", sw.code),
+			slog.Duration("duration", dur),
+		}
+		if root != nil {
+			attrs = append(attrs, slog.String("traceId", root.TraceID().String()))
+		}
+		if hasOutcome {
+			attrs = append(attrs,
+				slog.String("cache", outcome.String()),
+				slog.Duration("queueWait", queueWait))
+		}
+		if shed {
+			attrs = append(attrs, slog.Bool("shed", true))
+		}
+		s.logger.LogAttrs(context.Background(), slog.LevelInfo, "request", attrs...)
 	})
+}
+
+// headerRecorder captures what the mux's built-in error handler would have
+// answered (404, or 405 with an Allow header) so the middleware can rewrite
+// it as the typed JSON envelope.
+type headerRecorder struct {
+	header http.Header
+	code   int
+}
+
+func (h *headerRecorder) Header() http.Header         { return h.header }
+func (h *headerRecorder) Write(p []byte) (int, error) { return len(p), nil }
+func (h *headerRecorder) WriteHeader(code int)        { h.code = code }
+
+// writeRouteError serves an unrouted request (no pattern matched) through
+// the JSON error envelope instead of net/http's plain-text defaults.
+func writeRouteError(w http.ResponseWriter, r *http.Request, h http.Handler) {
+	rec := &headerRecorder{header: make(http.Header), code: http.StatusNotFound}
+	h.ServeHTTP(rec, r)
+	if rec.code == http.StatusMethodNotAllowed {
+		if allow := rec.header.Get("Allow"); allow != "" {
+			w.Header().Set("Allow", allow)
+		}
+		writeJSON(w, http.StatusMethodNotAllowed,
+			errorBody{Error: fmt.Sprintf("method %s not allowed on %s", r.Method, r.URL.Path)})
+		return
+	}
+	writeJSON(w, http.StatusNotFound,
+		errorBody{Error: fmt.Sprintf("no such endpoint: %s %s", r.Method, r.URL.Path)})
 }
 
 // statusWriter captures the response code for the request counter.
@@ -133,20 +366,26 @@ func (w *statusWriter) Flush() {
 func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // endpointLabel buckets paths into a bounded label set so metrics
-// cardinality cannot grow with traffic.
+// cardinality cannot grow with traffic. The /v1 and legacy spellings share
+// labels.
 func endpointLabel(path string) string {
+	p := strings.TrimPrefix(path, "/v1")
 	switch {
-	case path == "/v1/analyze":
+	case p == "/analyze":
 		return "analyze"
-	case path == "/v1/pipeline":
+	case p == "/depgraph":
+		return "depgraph"
+	case p == "/pipeline":
 		return "pipeline"
-	case path == "/v1/experiments" || len(path) > len("/v1/experiments/") && path[:len("/v1/experiments/")] == "/v1/experiments/":
+	case p == "/experiments" || strings.HasPrefix(p, "/experiments/"):
 		return "experiments"
 	case path == "/healthz":
 		return "healthz"
 	case path == "/metrics":
 		return "metrics"
-	case len(path) >= len("/debug/pprof") && path[:len("/debug/pprof")] == "/debug/pprof":
+	case strings.HasPrefix(path, "/debug/trace"):
+		return "trace"
+	case strings.HasPrefix(path, "/debug/pprof"):
 		return "pprof"
 	}
 	return "other"
@@ -229,6 +468,10 @@ func decodeBody(r *http.Request, v any) error {
 // only waits, selecting on its own request context, so one client's
 // disconnect never decides another client's answer. The cached value is the
 // marshaled response body, so hits cost one map lookup and one write.
+//
+// The leader's flight adopts the trace of the request that started it, so
+// compute-side spans (queue wait, analysis phases) land on that request's
+// trace; coalesced waiters keep only their own root span.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, req any, compute func(ctx context.Context) (any, error)) {
 	if s.computeHook != nil {
 		if h := s.computeHook(endpoint); h != nil {
@@ -243,10 +486,19 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 	key := Key(endpoint, pathmatrix.EngineVersion, string(canonical))
 
 	label := endpointLabel(r.URL.Path)
-	val, outcome, err := s.cache.Do(r.Context(), key, func(ctx context.Context) ([]byte, error) {
+	reqCtx := r.Context()
+	rs := reqStatsFrom(reqCtx)
+	val, outcome, err := s.cache.Do(reqCtx, key, func(ctx context.Context) ([]byte, error) {
+		ctx = obs.Adopt(ctx, reqCtx)
+		qstart := time.Now()
+		_, qspan := obs.Start(ctx, "queue")
 		if err := s.pool.acquire(ctx); err != nil {
+			qspan.SetAttr("shed", true)
+			qspan.End()
 			return nil, err
 		}
+		qspan.End()
+		rs.setQueueWait(time.Since(qstart))
 		defer s.pool.release()
 		resp, err := compute(ctx)
 		if err != nil {
@@ -255,9 +507,11 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 		return json.Marshal(resp)
 	}, func(delta int) { s.metrics.FlightRefs(label, delta) })
 	s.metrics.ObserveCache(outcome)
+	rs.setOutcome(outcome)
 	if err != nil {
 		if errors.Is(err, ErrOverloaded) {
 			s.metrics.ObserveShed(label)
+			rs.setShed()
 		}
 		writeError(w, err)
 		return
@@ -279,6 +533,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.serveCached(w, r, "analyze", &req, func(ctx context.Context) (any, error) {
 		return BuildAnalyze(ctx, &req)
+	})
+}
+
+func (s *Server) handleDepgraph(w http.ResponseWriter, r *http.Request) {
+	var req DepgraphRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.serveCached(w, r, "depgraph", &req, func(ctx context.Context) (any, error) {
+		return BuildDepgraph(ctx, &req)
 	})
 }
 
@@ -316,6 +581,28 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		}
 		return rep, nil
 	})
+}
+
+// handleTrace serves one finished trace from the ring, as the span-tree
+// JSON by default or the addsc -trace text rendering with ?format=text.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := obs.ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	t := s.tracer.Ring().Get(id)
+	if t == nil {
+		writeError(w, fmt.Errorf("%w: trace %s (ring keeps the last %d finished traces)",
+			ErrNotFound, id, s.tracer.Ring().Len()))
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		obs.WriteTree(w, t)
+		return
+	}
+	writeJSON(w, http.StatusOK, obs.ToJSON(t))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -85,6 +85,32 @@ type AnalyzeResponse struct {
 	Functions     []FunctionResult `json:"functions"`
 }
 
+// DepgraphRequest asks for the dependence graphs of one function's loops
+// under an oracle — the standalone form of the per-loop graphs embedded in
+// an AnalyzeResponse, for callers that want dependences without matrices.
+type DepgraphRequest struct {
+	Source string `json:"source"`
+	Fn     string `json:"fn"`
+	Loop   *int   `json:"loop,omitempty"` // nil = every loop
+	Oracle string `json:"oracle,omitempty"`
+	K      int    `json:"k,omitempty"`
+}
+
+// LoopDeps is one loop's dependence graph in a DepgraphResponse.
+type LoopDeps struct {
+	Index           int            `json:"index"`
+	Dependences     *adds.DepGraph `json:"dependences"`
+	CarriedMemEdges int            `json:"carriedMemEdges"`
+}
+
+// DepgraphResponse carries the requested loops' dependence graphs.
+type DepgraphResponse struct {
+	EngineVersion string     `json:"engineVersion"`
+	Fn            string     `json:"fn"`
+	Oracle        string     `json:"oracle"`
+	Loops         []LoopDeps `json:"loops"`
+}
+
 // PipelineRequest asks for initiation-interval bounds and the pipelined
 // VLIW schedule of one loop.
 type PipelineRequest struct {
@@ -142,7 +168,7 @@ func BuildAnalyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResponse, e
 	if _, err := adds.ParseOracle(req.Oracle); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	unit, err := adds.Load([]byte(req.Source))
+	unit, err := adds.LoadCtx(ctx, []byte(req.Source))
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +213,7 @@ func BuildAnalyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResponse, e
 			fr.Validation.Intervals = append(fr.Validation.Intervals, iv.String())
 		}
 		for i := 0; i < an.Loops(); i++ {
-			dg := an.Dependences(i, oracle)
+			dg := an.DependencesCtx(ctx, i, oracle)
 			fr.LoopData = append(fr.LoopData, LoopResult{
 				Index:           i,
 				Matrix:          an.LoopMatrix(i),
@@ -212,6 +238,52 @@ func BuildAnalyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResponse, e
 	return resp, nil
 }
 
+// BuildDepgraph computes the dependence graphs a DepgraphRequest selects.
+// Backs POST /v1/depgraph.
+func BuildDepgraph(ctx context.Context, req *DepgraphRequest) (*DepgraphResponse, error) {
+	if req.Fn == "" {
+		return nil, fmt.Errorf("%w: missing fn", ErrBadRequest)
+	}
+	kind, err := adds.ParseOracle(req.Oracle)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	unit, err := adds.LoadCtx(ctx, []byte(req.Source))
+	if err != nil {
+		return nil, err
+	}
+	an, err := unit.AnalyzeOpt(ctx, req.Fn)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := oracleFor(an, req.Oracle, req.K)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := 0, an.Loops()
+	if req.Loop != nil {
+		if err := an.CheckLoop(*req.Loop); err != nil {
+			return nil, err
+		}
+		lo, hi = *req.Loop, *req.Loop+1
+	}
+	resp := &DepgraphResponse{
+		EngineVersion: pathmatrix.EngineVersion,
+		Fn:            req.Fn,
+		Oracle:        kind.String(),
+		Loops:         []LoopDeps{},
+	}
+	for i := lo; i < hi; i++ {
+		dg := an.DependencesCtx(ctx, i, oracle)
+		resp.Loops = append(resp.Loops, LoopDeps{
+			Index:           i,
+			Dependences:     dg,
+			CarriedMemEdges: len(dg.CarriedMemEdges()),
+		})
+	}
+	return resp, nil
+}
+
 // BuildPipeline runs the pipelining analysis a PipelineRequest describes.
 // Shared by POST /v1/pipeline and addsc -format json -show pipeline.
 func BuildPipeline(ctx context.Context, req *PipelineRequest) (*PipelineResponse, error) {
@@ -225,7 +297,7 @@ func BuildPipeline(ctx context.Context, req *PipelineRequest) (*PipelineResponse
 	if width < 1 {
 		return nil, fmt.Errorf("adds: %w: %d", adds.ErrBadWidth, width)
 	}
-	unit, err := adds.Load([]byte(req.Source))
+	unit, err := adds.LoadCtx(ctx, []byte(req.Source))
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +319,7 @@ func BuildPipeline(ctx context.Context, req *PipelineRequest) (*PipelineResponse
 		Fn:            req.Fn, Loop: req.Loop, Width: width,
 		Info: an.AnalyzePipeline(req.Loop, oracle, width),
 	}
-	prog, info, err := an.Pipeline(req.Loop, width)
+	prog, info, err := an.PipelineCtx(ctx, req.Loop, width)
 	switch {
 	case errors.Is(err, adds.ErrBadWidth) || errors.Is(err, adds.ErrNoSuchLoop):
 		return nil, err

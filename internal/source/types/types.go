@@ -5,8 +5,10 @@
 package types
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/shape"
 	"repro/internal/source/ast"
 	"repro/internal/source/token"
@@ -113,7 +115,17 @@ type checker struct {
 // the info table. Shape well-formedness problems are reported as errors at
 // the type declaration's position.
 func Check(prog *ast.Program) (*Info, []*Error) {
+	return CheckCtx(context.Background(), prog)
+}
+
+// CheckCtx is Check under a context, opening "shape" and "typecheck" spans
+// when the context carries a tracer (and costing two nil checks when not).
+func CheckCtx(ctx context.Context, prog *ast.Program) (*Info, []*Error) {
+	_, span := obs.Start(ctx, "shape")
 	env, probs := shape.Build(prog)
+	span.End()
+	_, span = obs.Start(ctx, "typecheck")
+	defer span.End()
 	c := &checker{prog: prog, env: env}
 	for _, p := range probs {
 		pos := token.Pos{}
