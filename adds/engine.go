@@ -1,0 +1,44 @@
+package adds
+
+import "repro/internal/core/pathmatrix"
+
+// Engine-level introspection and tuning, re-exported so observability and
+// benchmarking tools never import internal packages directly.
+
+// EngineStats is a snapshot of the analysis engine's process-wide counters:
+// fixpoint iterations, matrix clones, transfer-memo hits and misses, shared
+// and dropped rows. See pathmatrix.Stats for field semantics.
+type EngineStats = pathmatrix.Stats
+
+// ReadEngineStats returns the engine counters since process start.
+func ReadEngineStats() EngineStats { return pathmatrix.ReadStats() }
+
+// EngineVersion identifies the analysis engine semantics. It stamps API
+// responses, content-addressed caches and benchmark files; two equal
+// versions promise byte-identical analysis output for identical input.
+func EngineVersion() string { return pathmatrix.EngineVersion }
+
+// SetEngineMemo enables or disables the process-wide transfer-function memo
+// and reports the previous setting. The memo is semantics-free (outputs are
+// byte-identical either way); disabling it exists for benchmarks and
+// differential harnesses. Not synchronized with running analyses: flip it
+// only between runs.
+func SetEngineMemo(on bool) (prev bool) {
+	prev = pathmatrix.Memoize
+	pathmatrix.Memoize = on
+	return prev
+}
+
+// EngineMemoEnabled reports whether the transfer-function memo is on.
+func EngineMemoEnabled() bool { return pathmatrix.Memoize }
+
+// SetEngineLiveness enables or disables the engine's interleaved liveness
+// pass globally and reports the previous setting. Unlike the memo this
+// changes analysis results (dead-variable facts are dropped); prefer the
+// per-analysis WithLiveness option, which also serializes correctly against
+// concurrent analyses. Not synchronized: flip it only between runs.
+func SetEngineLiveness(on bool) (prev bool) {
+	prev = pathmatrix.Liveness
+	pathmatrix.Liveness = on
+	return prev
+}

@@ -67,6 +67,7 @@ type config struct {
 	k        int
 	countCap int // 0 = package default
 	maxSteps int // 0 = package default
+	live     bool
 	tracer   *Tracer
 }
 
@@ -99,6 +100,15 @@ func WithCountCap(k int) Option { return func(c *config) { c.countCap = k } }
 // caveat as WithCountCap.
 func WithMaxSteps(n int) Option { return func(c *config) { c.maxSteps = n } }
 
+// WithLiveness enables the engine's interleaved liveness pass
+// (pathmatrix.Liveness) for this analysis: relations between dead pointer
+// variables are dropped mid-fixpoint, bounding matrix growth on hostile
+// programs at the cost of conservative answers for dead variables (the
+// oracles fall back automatically). Same serialization caveat as
+// WithCountCap: the flag is an engine global, so enabling it serializes
+// against every other analysis in the process.
+func WithLiveness() Option { return func(c *config) { c.live = true } }
+
 // WithTracer attaches a tracer to the analysis so every phase (parse and
 // typecheck happen in LoadCtx; normalization, the per-statement fixpoint,
 // IR building, and the transformation helpers here) lands as a span on one
@@ -114,7 +124,7 @@ func WithTracer(t *Tracer) Option { return func(c *config) { c.tracer = t } }
 var capMu sync.RWMutex
 
 func withCaps(cfg config, f func() error) error {
-	if cfg.countCap == 0 && cfg.maxSteps == 0 {
+	if cfg.countCap == 0 && cfg.maxSteps == 0 && !cfg.live {
 		capMu.RLock()
 		defer capMu.RUnlock()
 		return f()
@@ -122,12 +132,19 @@ func withCaps(cfg config, f func() error) error {
 	capMu.Lock()
 	defer capMu.Unlock()
 	oldCap, oldSteps := pathmatrix.CountCap, pathmatrix.MaxSteps
-	defer func() { pathmatrix.CountCap, pathmatrix.MaxSteps = oldCap, oldSteps }()
+	oldLive := pathmatrix.Liveness
+	defer func() {
+		pathmatrix.CountCap, pathmatrix.MaxSteps = oldCap, oldSteps
+		pathmatrix.Liveness = oldLive
+	}()
 	if cfg.countCap > 0 {
 		pathmatrix.CountCap = cfg.countCap
 	}
 	if cfg.maxSteps > 0 {
 		pathmatrix.MaxSteps = cfg.maxSteps
+	}
+	if cfg.live {
+		pathmatrix.Liveness = true
 	}
 	return f()
 }

@@ -302,3 +302,29 @@ func BenchmarkAnalyzeShift(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAnalyzeShiftMemo isolates the transfer-function memo: warm
+// repeated analyses of the same function (the addsd serving pattern when the
+// response cache misses but the program shape repeats) against the
+// unmemoized engine. The memo must win here or it is pure overhead.
+func BenchmarkAnalyzeShiftMemo(b *testing.B) {
+	info := types.MustCheck(parser.MustParse(exper.ShiftSrc))
+	g := norm.Build(info.Func("shift"), info.Env)
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"memo-on", true}, {"memo-off", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			old := pathmatrix.Memoize
+			pathmatrix.Memoize = mode.on
+			defer func() { pathmatrix.Memoize = old }()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if r := pathmatrix.Analyze(g, info.Env); r == nil {
+					b.Fatal("nil result")
+				}
+			}
+		})
+	}
+}

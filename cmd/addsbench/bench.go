@@ -1,0 +1,131 @@
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/adds"
+)
+
+// The machine-readable perf trajectory. Every -bench run emits one
+// BenchFile; CI compares the PR's file against the base ref's and the repo
+// keeps a checked-in BENCH_baseline.json so speed claims are measurements,
+// not assertions.
+
+// BenchSchema versions the JSON layout.
+const BenchSchema = "adds-bench/v1"
+
+// BenchFile is the top-level -bench -format json document.
+type BenchFile struct {
+	Schema        string            `json:"schema"`
+	Label         string            `json:"label"`
+	EngineVersion string            `json:"engineVersion"`
+	GoVersion     string            `json:"goVersion"`
+	MemoEnabled   bool              `json:"memoEnabled"`
+	Experiments   []BenchExperiment `json:"experiments"`
+}
+
+// BenchExperiment records one experiment's measurements. NsPerOp is the
+// best-of-reps wall time (robust to CI noise); the per-op engine counters
+// and the report digest are deterministic for a given engine version, so
+// the comparator treats changes in them as drift rather than noise.
+type BenchExperiment struct {
+	ID            string  `json:"id"`
+	Title         string  `json:"title"`
+	Ops           int     `json:"ops"`
+	NsPerOp       float64 `json:"nsPerOp"`
+	AllocsPerOp   float64 `json:"allocsPerOp"`
+	BytesPerOp    float64 `json:"bytesPerOp"`
+	FixpointIters float64 `json:"fixpointIters"`
+	MatrixClones  float64 `json:"matrixClones"`
+	MemoHitRate   float64 `json:"memoHitRate"`
+	ReportDigest  string  `json:"reportDigest"`
+}
+
+// benchOptions bundles the -bench knobs.
+type benchOptions struct {
+	benchtime time.Duration
+	reps      int
+	label     string
+}
+
+// benchOne measures a single experiment: one untimed warmup run pins the
+// report digest (and warms the transfer memo so steady-state behaviour is
+// measured), then reps timed loops of at least benchtime each; the fastest
+// rep wins.
+func benchOne(d adds.ExperimentDef, opt benchOptions) BenchExperiment {
+	warm := d.Run()
+	digest := sha256.Sum256([]byte(warm.Format()))
+
+	best := BenchExperiment{
+		ID:           d.ID,
+		Title:        d.Title,
+		ReportDigest: fmt.Sprintf("sha256:%x", digest),
+	}
+	for rep := 0; rep < opt.reps; rep++ {
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		es0 := adds.ReadEngineStats()
+		ops := 0
+		start := time.Now()
+		var elapsed time.Duration
+		for {
+			d.Run()
+			ops++
+			if elapsed = time.Since(start); elapsed >= opt.benchtime {
+				break
+			}
+		}
+		runtime.ReadMemStats(&ms1)
+		es1 := adds.ReadEngineStats()
+
+		nsPerOp := float64(elapsed.Nanoseconds()) / float64(ops)
+		if best.Ops == 0 || nsPerOp < best.NsPerOp {
+			fops := float64(ops)
+			best.Ops = ops
+			best.NsPerOp = nsPerOp
+			best.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / fops
+			best.BytesPerOp = float64(ms1.TotalAlloc-ms0.TotalAlloc) / fops
+			best.FixpointIters = float64(es1.Iterations-es0.Iterations) / fops
+			best.MatrixClones = float64(es1.Clones-es0.Clones) / fops
+			hits := es1.MemoHits - es0.MemoHits
+			misses := es1.MemoMisses - es0.MemoMisses
+			if hits+misses > 0 {
+				best.MemoHitRate = float64(hits) / float64(hits+misses)
+			}
+		}
+	}
+	return best
+}
+
+// runBench measures every requested experiment serially (timing and
+// parallelism do not mix) and returns the trajectory document.
+func runBench(toRun []adds.ExperimentDef, opt benchOptions, stderr io.Writer) *BenchFile {
+	bf := &BenchFile{
+		Schema:        BenchSchema,
+		Label:         opt.label,
+		EngineVersion: adds.EngineVersion(),
+		GoVersion:     runtime.Version(),
+		MemoEnabled:   adds.EngineMemoEnabled(),
+	}
+	for _, d := range toRun {
+		fmt.Fprintf(stderr, "bench %s (%d reps × %s)\n", d.ID, opt.reps, opt.benchtime)
+		bf.Experiments = append(bf.Experiments, benchOne(d, opt))
+	}
+	return bf
+}
+
+// formatBenchText renders the trajectory for humans (-format text).
+func formatBenchText(w io.Writer, bf *BenchFile) {
+	fmt.Fprintf(w, "label=%s engine=%s %s memo=%t\n",
+		bf.Label, bf.EngineVersion, bf.GoVersion, bf.MemoEnabled)
+	for _, e := range bf.Experiments {
+		fmt.Fprintf(w, "%-4s %12.0f ns/op %10.0f allocs/op %12.0f B/op  iters=%g clones=%g hit=%.2f\n",
+			e.ID, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp,
+			e.FixpointIters, e.MatrixClones, e.MemoHitRate)
+	}
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The bench-gate comparator: `addsbench -compare old.json new.json
+// -threshold 15` fails (exit 1) on a wall-time regression beyond the
+// threshold, and on ANY drift in the deterministic metrics — fixpoint
+// iteration counts or report digests — when both files were produced by the
+// same engine version. A version bump waives drift checks: changed output
+// is then a declared semantic change, and version.go discipline (bump on
+// any output change) is exactly what the waiver enforces.
+
+// compareResult is one comparator verdict line.
+type compareResult struct {
+	id   string
+	ok   bool
+	note string
+}
+
+func loadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if bf.Schema != BenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, bf.Schema, BenchSchema)
+	}
+	return &bf, nil
+}
+
+// compareBench evaluates new against old. Experiments missing from the old
+// file pass with a notice (a fresh or empty baseline gates nothing);
+// experiments missing from the new file fail (coverage must not shrink
+// silently).
+func compareBench(old, cur *BenchFile, thresholdPct float64) (results []compareResult, failed bool) {
+	oldByID := map[string]BenchExperiment{}
+	for _, e := range old.Experiments {
+		oldByID[e.ID] = e
+	}
+	sameEngine := old.EngineVersion == cur.EngineVersion
+	newSeen := map[string]bool{}
+
+	for _, ne := range cur.Experiments {
+		newSeen[ne.ID] = true
+		oe, ok := oldByID[ne.ID]
+		if !ok {
+			results = append(results, compareResult{ne.ID, true, "no baseline (new experiment or empty baseline)"})
+			continue
+		}
+		limit := oe.NsPerOp * (1 + thresholdPct/100)
+		switch {
+		case oe.NsPerOp > 0 && ne.NsPerOp > limit:
+			results = append(results, compareResult{ne.ID, false, fmt.Sprintf(
+				"ns/op regression: %.0f -> %.0f (+%.1f%%, threshold %.0f%%)",
+				oe.NsPerOp, ne.NsPerOp, 100*(ne.NsPerOp/oe.NsPerOp-1), thresholdPct)})
+			failed = true
+		case sameEngine && oe.FixpointIters != ne.FixpointIters:
+			results = append(results, compareResult{ne.ID, false, fmt.Sprintf(
+				"fixpoint-iteration drift on same engine %s: %g -> %g",
+				old.EngineVersion, oe.FixpointIters, ne.FixpointIters)})
+			failed = true
+		case sameEngine && oe.ReportDigest != ne.ReportDigest:
+			results = append(results, compareResult{ne.ID, false, fmt.Sprintf(
+				"report digest drift on same engine %s (analysis output changed without a version bump)",
+				old.EngineVersion)})
+			failed = true
+		default:
+			note := fmt.Sprintf("ns/op %.0f -> %.0f (%+.1f%%)",
+				oe.NsPerOp, ne.NsPerOp, 100*(ne.NsPerOp/safeDiv(oe.NsPerOp)-1))
+			if !sameEngine {
+				note += fmt.Sprintf("; drift checks waived (%s -> %s)", old.EngineVersion, cur.EngineVersion)
+			}
+			results = append(results, compareResult{ne.ID, true, note})
+		}
+	}
+	for _, oe := range old.Experiments {
+		if !newSeen[oe.ID] {
+			results = append(results, compareResult{oe.ID, false, "experiment missing from new run"})
+			failed = true
+		}
+	}
+	return results, failed
+}
+
+func safeDiv(d float64) float64 {
+	if d == 0 {
+		return 1
+	}
+	return d
+}
+
+// runCompare is the -compare entry point.
+func runCompare(oldPath, newPath string, thresholdPct float64, stdout, stderr io.Writer) int {
+	old, err := loadBenchFile(oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "addsbench:", err)
+		return 1
+	}
+	nw, err := loadBenchFile(newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "addsbench:", err)
+		return 1
+	}
+	results, failed := compareBench(old, nw, thresholdPct)
+	for _, r := range results {
+		status := "ok  "
+		if !r.ok {
+			status = "FAIL"
+		}
+		fmt.Fprintf(stdout, "%s %-4s %s\n", status, r.id, r.note)
+	}
+	if failed {
+		fmt.Fprintf(stdout, "bench-gate: FAIL (threshold %.0f%%)\n", thresholdPct)
+		return 1
+	}
+	fmt.Fprintf(stdout, "bench-gate: ok (%d experiments, threshold %.0f%%)\n", len(results), thresholdPct)
+	return 0
+}

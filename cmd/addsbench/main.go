@@ -10,6 +10,8 @@
 //	addsbench -par 4     # run experiments concurrently (same output)
 //	addsbench -list      # list experiment ids and titles
 //	addsbench -format json E4
+//	addsbench -bench -format json -label pr > BENCH_pr.json
+//	addsbench -compare BENCH_baseline.json BENCH_pr.json -threshold 15
 //
 // Exit codes follow the shared adds convention: 0 ok, 1 internal or unknown
 // experiment, 2 flag misuse; typed facade errors surfacing from experiment
@@ -49,6 +51,12 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list experiments without running them")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	bench := fs.Bool("bench", false, "measure experiments instead of printing reports")
+	benchtime := fs.Duration("benchtime", 200*time.Millisecond, "minimum measuring time per bench rep")
+	reps := fs.Int("reps", 5, "bench reps per experiment (best rep wins)")
+	label := fs.String("label", "local", "label recorded in the bench file")
+	compare := fs.Bool("compare", false, "compare two bench JSON files (old new) and gate regressions")
+	threshold := fs.Float64("threshold", 15, "allowed ns/op regression percentage for -compare")
 	par := cli.RegisterPar(fs, "experiment")
 	format := cli.RegisterFormat(fs, "text", "text", "json")
 	lf := cli.RegisterLogFlags(fs, "text")
@@ -65,6 +73,23 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	lg, err := lf.Logger(stderr)
 	if err != nil {
 		return fail(err)
+	}
+
+	if *compare {
+		paths := fs.Args()
+		// Accept flags after the positionals too (`-compare old new -threshold 10`):
+		// stdlib flag parsing stops at the first positional, so re-parse the rest.
+		if len(paths) > 2 {
+			if err := fs.Parse(paths[2:]); err != nil {
+				return adds.ExitUsage
+			}
+			paths = append(paths[:2:2], fs.Args()...)
+		}
+		if len(paths) != 2 {
+			fmt.Fprintln(stderr, "addsbench: -compare takes exactly two arguments: old.json new.json")
+			return adds.ExitUsage
+		}
+		return runCompare(paths[0], paths[1], *threshold, stdout, stderr)
 	}
 
 	if *list {
@@ -117,14 +142,25 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 		}
 	}
 
+	if *bench {
+		bf := runBench(toRun, benchOptions{
+			benchtime: *benchtime, reps: *reps, label: *label,
+		}, stderr)
+		if *format == "json" {
+			if s := writeIndentedJSON(stdout, stderr, fail, bf); s != 0 {
+				return s
+			}
+			return status
+		}
+		formatBenchText(stdout, bf)
+		return status
+	}
+
 	// Run experiments with a bounded worker pool, buffering each report so
 	// output order matches request order regardless of worker scheduling.
-	workers := *par
-	if workers <= 0 {
-		workers = len(toRun)
-	}
-	if workers > len(toRun) {
-		workers = len(toRun)
+	workers, note := effectiveWorkers(*par, *cpuprofile != "", len(toRun))
+	if note != "" {
+		fmt.Fprintln(stderr, "addsbench:", note)
 	}
 	start := time.Now()
 	reports := make([]*adds.Report, len(toRun))
@@ -176,6 +212,21 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 		fmt.Fprintln(stdout, rep.Format())
 	}
 	return status
+}
+
+// effectiveWorkers bounds the worker pool. A CPU profile and a parallel run
+// do not mix — pprof samples every goroutine into one profile, so -par N
+// turns the per-experiment attribution into an unreadable interleaving; when
+// both are requested the experiments run serially and the caller is told.
+func effectiveWorkers(par int, profiling bool, n int) (workers int, note string) {
+	workers = par
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	if profiling && workers > 1 {
+		return 1, fmt.Sprintf("-cpuprofile forces serial execution (ignoring -par %d)", par)
+	}
+	return workers, ""
 }
 
 func writeIndentedJSON(stdout, stderr io.Writer, fail func(error) int, v any) int {

@@ -60,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	profile := fs.String("profile", "", "comma-separated generation profiles (empty = all: "+profileNames()+")")
 	corpus := fs.String("corpus", "", "directory for minimized repros and triage records")
 	checks := fs.String("checks", "", "comma-separated checks (empty = all: "+strings.Join(difftest.AllChecks(), ",")+")")
+	memo := fs.Bool("memo", true, "run the campaign with the transfer-function memo enabled")
+	live := fs.Bool("live", false, "run the campaign with the interleaved liveness pass enabled")
 	lf := cli.RegisterLogFlags(fs, "text")
 	if err := fs.Parse(args); err != nil {
 		return adds.ExitUsage
@@ -90,6 +92,14 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 		}
 	}
 
+	// Engine configuration for the whole campaign. -memo=false fuzzes the
+	// unmemoized engine (the memo is supposed to be invisible, so campaigns
+	// under both settings must stay equally clean); -live turns on the
+	// interleaved liveness pass so its dead-row dropping gets adversarial
+	// coverage, not just the checked-in testdata.
+	defer adds.SetEngineMemo(adds.SetEngineMemo(*memo))
+	defer adds.SetEngineLiveness(adds.SetEngineLiveness(*live))
+
 	c := difftest.Campaign{
 		Seed:      *seed,
 		Budget:    *budget,
@@ -105,7 +115,7 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	c.Progress = func(d, total int) { done.Store(int64(d)) }
 
 	lg.Info("campaign start", "seed", *seed, "budget", *budget, "jobs", jobs,
-		"profiles", *profile, "checks", *checks)
+		"profiles", *profile, "checks", *checks, "memo", *memo, "live", *live)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -21,7 +21,12 @@ type Result struct {
 	Env    *shape.Env
 	Before []*Matrix
 	After  []*Matrix // per node; for branches this is the pre-refinement state
-	trans  *transferer
+	// Live is the backward liveness result when the run interleaved
+	// dead-row dropping (Liveness enabled), nil otherwise. Oracles must
+	// answer conservatively about variables that are not live at the query
+	// point: their rows may have been dropped.
+	Live  *norm.Liveness
+	trans *transferer
 }
 
 // maxIterations bounds the fixed-point computation; the bounded domain
@@ -119,6 +124,9 @@ func AnalyzeCtx(ctx context.Context, g *norm.Graph, env *shape.Env) (*Result, er
 	// indicative under concurrent analyses).
 	_, span := obs.Start(ctx, "fixpoint")
 	clones0 := engineStats.clones.Load()
+	memoHits0 := engineStats.memoHits.Load()
+	sharedRows0 := engineStats.sharedRows.Load()
+	droppedRows0 := engineStats.droppedRows.Load()
 	widenings := 0
 	res := &Result{
 		Graph:  g,
@@ -127,10 +135,29 @@ func AnalyzeCtx(ctx context.Context, g *norm.Graph, env *shape.Env) (*Result, er
 		After:  make([]*Matrix, len(g.Nodes)),
 		trans:  &transferer{env: env},
 	}
+	rt := newRowTable()
 
 	vars := g.PointerVars()
 	init := NewMatrix(vars)
 	initParams(init, g)
+
+	// With liveness-based dropping enabled, precompute per-node dead sets
+	// once: the set of pointer variables not live after the node executes.
+	var deadOut []*deadVars
+	if Liveness {
+		live := norm.ComputeLiveness(g)
+		res.Live = live
+		deadOut = make([]*deadVars, len(g.Nodes))
+		for _, n := range g.Nodes {
+			dv := &deadVars{set: map[string]bool{}}
+			for _, v := range vars {
+				if !live.LiveOut(n.ID, v) {
+					dv.set[v] = true
+				}
+			}
+			deadOut[n.ID] = dv
+		}
+	}
 
 	// Edge states: for each node, the state flowing out along each
 	// successor edge (branches refine differently per edge). The per-node
@@ -217,9 +244,13 @@ func AnalyzeCtx(ctx context.Context, g *norm.Graph, env *shape.Env) (*Result, er
 			before, after = widened, widened
 		} else {
 			before = inState(n)
-			after = before.Clone()
 			if n.Kind == norm.NodeStmt {
-				res.trans.apply(after, n.Stmt)
+				after = res.trans.applyMemo(before, n.Stmt, rt)
+			} else {
+				after = before.Clone()
+			}
+			if deadOut != nil {
+				after.dropDead(deadOut[n.ID])
 			}
 		}
 		res.Before[n.ID] = before
@@ -277,6 +308,10 @@ func AnalyzeCtx(ctx context.Context, g *norm.Graph, env *shape.Env) (*Result, er
 		span.SetAttr("widenings", widenings)
 		span.SetAttr("matrixClones", engineStats.clones.Load()-clones0)
 		span.SetAttr("internedPaths", InternerStats())
+		span.SetAttr("memoHits", engineStats.memoHits.Load()-memoHits0)
+		span.SetAttr("sharedRows", engineStats.sharedRows.Load()-sharedRows0)
+		span.SetAttr("dedupRows", rt.dups)
+		span.SetAttr("droppedRows", engineStats.droppedRows.Load()-droppedRows0)
 		span.End()
 	}
 	return res, nil
@@ -491,11 +526,10 @@ func (r *Result) IterationMatrix(l *norm.Loop) *Matrix {
 				widened = widenedIterationMatrix(r.Graph)
 			}
 			after = widened
+		} else if n.Kind == norm.NodeStmt {
+			after = trans.applyMemo(before, n.Stmt, nil)
 		} else {
 			after = before.Clone()
-			if n.Kind == norm.NodeStmt {
-				trans.apply(after, n.Stmt)
-			}
 		}
 		if edgeOut[n.ID] == nil {
 			edgeOut[n.ID] = make([]*Matrix, len(n.Succs))

@@ -1,0 +1,121 @@
+package pathmatrix
+
+import (
+	"crypto/sha256"
+	"sort"
+	"strings"
+)
+
+// Structural hashing of matrices, one level up from Path interning: each
+// matrix carries a lazily computed content fingerprint over its rows and
+// violations. The fingerprint is pure content — no per-run identifiers — so
+// it is valid across analysis runs and is the row-set component of the
+// transfer-function memo key. Every mutator invalidates the cached value;
+// Clone carries it (a clone has identical content by construction).
+
+// entryCanon renders an entry in canonical form: sorted relation keys, each
+// followed by a certainty mark. Rel.key() already encodes kind, path and via
+// provenance; certainty is the only identity component it omits.
+func entryCanon(e Entry, b *strings.Builder) {
+	var kbuf [8]string
+	keys := kbuf[:0]
+	for k := range e {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, k := range keys {
+		b.WriteString(k)
+		if e[k].Certain {
+			b.WriteByte('\x02')
+		}
+		b.WriteByte('\x1d')
+	}
+}
+
+// fingerprint returns the matrix's content hash, computing and caching it on
+// first use. Rows (cells grouped by source variable) are rendered in sorted
+// order, and violations with every identity field spelled out explicitly
+// (Violation.String omits Partner). The variable list is deliberately
+// excluded: transfer functions read only cells and violations, so two
+// matrices with equal fingerprints transfer identically even when declared
+// over different variable sets.
+//
+// When tab is non-nil, each canonical row is also interned there so the run
+// can report how many rows it encountered that were structurally identical
+// to rows already seen.
+func (m *Matrix) fingerprint(tab *rowTable) string {
+	if m.fp != "" {
+		return m.fp
+	}
+	rows := make(map[string][]string, len(m.cells))
+	for k, e := range m.cells {
+		if len(e) == 0 {
+			continue
+		}
+		var b strings.Builder
+		b.WriteString(k[1])
+		b.WriteByte('\x1f')
+		entryCanon(e, &b)
+		rows[k[0]] = append(rows[k[0]], b.String())
+	}
+	rowStrs := make([]string, 0, len(rows))
+	for src, cells := range rows {
+		sort.Strings(cells)
+		rowStrs = append(rowStrs, src+"\x1e"+strings.Join(cells, "\x1e"))
+	}
+	sort.Strings(rowStrs)
+	if tab != nil {
+		for _, r := range rowStrs {
+			tab.intern(r)
+		}
+	}
+
+	var b strings.Builder
+	for _, r := range rowStrs {
+		b.WriteString(r)
+		b.WriteByte('\x00')
+	}
+	b.WriteByte('\x01')
+	if len(m.viols) > 0 {
+		vs := make([]string, 0, len(m.viols))
+		for v := range m.viols {
+			vs = append(vs, v.Prop+"\x1f"+v.Field+"\x1f"+v.Partner+"\x1f"+v.Base+"\x1f"+v.Other)
+		}
+		sort.Strings(vs)
+		for _, v := range vs {
+			b.WriteString(v)
+			b.WriteByte('\x00')
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	m.fp = string(sum[:])
+	return m.fp
+}
+
+// rowTable interns canonical row strings for one analysis run, assigning
+// dense ids. It exists for observability: dedupRows counts rows whose exact
+// content had already appeared earlier in the run (the redundancy the shared
+// rows and memo layers exploit). Fingerprints never embed the per-run ids —
+// that would tie them to one run and break the cross-run memo.
+type rowTable struct {
+	ids  map[string]int
+	dups int
+}
+
+func newRowTable() *rowTable { return &rowTable{ids: map[string]int{}} }
+
+// intern returns the dense id for a canonical row, counting repeats.
+func (t *rowTable) intern(row string) int {
+	if id, ok := t.ids[row]; ok {
+		t.dups++
+		engineStats.dedupRows.Add(1)
+		return id
+	}
+	id := len(t.ids)
+	t.ids[row] = id
+	return id
+}

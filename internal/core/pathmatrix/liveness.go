@@ -1,0 +1,66 @@
+package pathmatrix
+
+// Interleaved liveness-based row dropping: after each transfer the engine
+// can delete relations between variables that are dead at that point,
+// bounding matrix growth on programs that touch many short-lived pointers
+// ("Generalizing the Liveness Based Points-to Analysis" motivates the same
+// reduction for points-to facts).
+
+// Liveness gates the dropping. Off by default: dropping is an opt-in size
+// lever, kept out of the byte-identical default configuration. The policy
+// below is witness-preserving — see dropDead — so oracle answers about live
+// pairs and abstraction validity match the full analysis on everything the
+// test corpus exercises; pathological programs can still lose a violation
+// witness that ran exclusively through dead-dead cells, so validation under
+// Liveness is documented as best-effort. Callers that query dead variables
+// must fall back to conservative answers (internal/alias does, via
+// Result.Live).
+var Liveness = false
+
+// deadVars is a precomputed per-point dead-variable set.
+type deadVars struct {
+	set map[string]bool
+}
+
+// dropDead deletes cells whose BOTH endpoints are dead, keeping any cell
+// that records a definite alias. The restriction is what keeps the rest of
+// the engine honest:
+//
+//   - every transfer derivation, violation check and repair match reasons
+//     from a live variable (the statement's operands are live by
+//     definition), so cells with at least one live endpoint must survive;
+//   - must-alias links are consulted by violation re-anchoring when a dead
+//     variable is eventually redefined, so certain "=" cells survive even
+//     between dead pairs.
+//
+// Everything else between two dead variables is unreadable by construction:
+// both names will be redefined (killing the cell anyway) before any
+// statement can mention them again. Returns the number of cells dropped.
+func (m *Matrix) dropDead(d *deadVars) int {
+	if d == nil || len(d.set) == 0 {
+		return 0
+	}
+	var doomed [][2]string
+	for k, e := range m.cells {
+		if !d.set[k[0]] || !d.set[k[1]] {
+			continue
+		}
+		if r, ok := e["="]; ok && r.Certain {
+			continue // must-alias link: re-anchoring may still need it
+		}
+		doomed = append(doomed, k)
+	}
+	if len(doomed) == 0 {
+		return 0 // no mutation: the cached fingerprint stays valid
+	}
+	m.ensureCells()
+	m.fp = ""
+	for _, k := range doomed {
+		delete(m.cells, k)
+		if m.owned != nil {
+			delete(m.owned, k)
+		}
+	}
+	engineStats.droppedRows.Add(uint64(len(doomed)))
+	return len(doomed)
+}

@@ -28,6 +28,10 @@ type Matrix struct {
 	// owned marks entries this matrix created after the last map copy and
 	// may therefore mutate in place. nil means no entry is owned.
 	owned map[[2]string]bool
+
+	// fp caches the structural content hash (see fingerprint.go). "" means
+	// not computed. Every mutator clears it; Clone carries it.
+	fp string
 }
 
 // matrixPool recycles Matrix headers, and cellsPool their cell maps, across
@@ -89,6 +93,7 @@ func newMatrix(vars []string) *Matrix {
 	m.viols = nil // lazily allocated on the first violation
 	m.sharedCells, m.sharedViols = false, false
 	m.owned = nil
+	m.fp = ""
 	return m
 }
 
@@ -129,6 +134,7 @@ func (m *Matrix) Clone() *Matrix {
 		viols:       m.viols,
 		sharedCells: true,
 		sharedViols: true,
+		fp:          m.fp, // identical content, identical hash
 	}
 	return out
 }
@@ -182,6 +188,7 @@ func (m *Matrix) mutableEntry(p, q string) Entry {
 // (freshly built or obtained from mutableEntry); set records that ownership.
 func (m *Matrix) set(p, q string, e Entry) {
 	m.ensureCells()
+	m.fp = ""
 	k := [2]string{p, q}
 	if len(e) == 0 {
 		delete(m.cells, k)
@@ -215,6 +222,7 @@ func (m *Matrix) addRel(p, q string, r Rel) {
 func (m *Matrix) kill(v string) {
 	m.reanchorViolations(v)
 	m.ensureCells()
+	m.fp = ""
 	for k := range m.cells {
 		if k[0] == v || k[1] == v {
 			delete(m.cells, k)
@@ -258,6 +266,7 @@ func (m *Matrix) reanchorViolations(v string) {
 		}
 	}
 	m.ensureViols()
+	m.fp = ""
 	for _, viol := range renamed {
 		delete(m.viols, viol)
 		if viol.Base == v {
@@ -339,12 +348,14 @@ func (m *Matrix) relatedVars(p string) []string {
 // addViolation records an abstraction violation.
 func (m *Matrix) addViolation(v Violation) {
 	m.ensureViols()
+	m.fp = ""
 	m.viols[v] = true
 }
 
 // deleteViolation removes a violation (a repairing store was seen).
 func (m *Matrix) deleteViolation(v Violation) {
 	m.ensureViols()
+	m.fp = ""
 	delete(m.viols, v)
 }
 
@@ -386,7 +397,46 @@ func (m *Matrix) MustAlias(p, q string) bool {
 	return m.Entry(p, q).mustAlias() && m.Entry(q, p).mustAlias()
 }
 
-// Join merges two matrices (control-flow join).
+// sigCanonical reports whether every relation in the entry has a distinct
+// signature. joinEntries folds same-signature relations (next^1 and next^2
+// merge to next+), so joining a non-canonical entry with itself does NOT
+// yield itself; only sig-canonical entries are safe to share at a join.
+func sigCanonical(e Entry) bool {
+	if len(e) <= 1 {
+		return true
+	}
+	var buf [8]string
+	sigs := buf[:0]
+	for _, r := range e {
+		k := sigKey(r)
+		for _, s := range sigs {
+			if s == k {
+				return false
+			}
+		}
+		sigs = append(sigs, k)
+	}
+	return true
+}
+
+// setShared installs an entry owned by another matrix without granting
+// mutation rights: a later write to this cell goes through mutableEntry,
+// which clones unowned entries first. Entries are never recycled by release,
+// so the donor matrix being pooled later cannot invalidate the reference.
+func (m *Matrix) setShared(k [2]string, e Entry) {
+	m.ensureCells()
+	m.fp = ""
+	m.cells[k] = e
+}
+
+// Join merges two matrices (control-flow join). Cells whose entries are
+// structurally equal on both sides — the overwhelmingly common case at the
+// joins of a converging fixpoint — share the left entry pointer-equal
+// instead of rebuilding it, so a join that changes one cell shares every
+// other with its parents. Sharing requires sig-canonical entries (see
+// sigCanonical): for those, signature matching pairs each relation with
+// itself, merges paths to identical content and keeps certainty, so the
+// joined entry is contentwise the shared one.
 func Join(a, b *Matrix) *Matrix {
 	out := newMatrix(a.vars)
 	keys := map[[2]string]bool{}
@@ -397,7 +447,13 @@ func Join(a, b *Matrix) *Matrix {
 		keys[k] = true
 	}
 	for k := range keys {
-		out.set(k[0], k[1], joinEntries(a.cells[k], b.cells[k]))
+		ea, eb := a.cells[k], b.cells[k]
+		if ea != nil && equalEntries(ea, eb) && sigCanonical(ea) {
+			out.setShared(k, ea)
+			engineStats.sharedRows.Add(1)
+			continue
+		}
+		out.set(k[0], k[1], joinEntries(ea, eb))
 	}
 	for v := range a.viols {
 		out.addViolation(v)
@@ -410,6 +466,9 @@ func Join(a, b *Matrix) *Matrix {
 
 // Equal compares matrices for fixed-point detection.
 func (m *Matrix) Equal(o *Matrix) bool {
+	if m.fp != "" && o.fp != "" {
+		return m.fp == o.fp // content hashes decide in either direction
+	}
 	if len(m.cells) != len(o.cells) || len(m.viols) != len(o.viols) {
 		return false
 	}

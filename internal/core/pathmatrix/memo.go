@@ -1,0 +1,184 @@
+package pathmatrix
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/norm"
+)
+
+// Process-wide transfer-function memo. A transfer function is pure: its
+// output is determined by the input matrix content, the statement, the shape
+// environment and the engine configuration. The memo is keyed on exactly
+// those — engine version, environment fingerprint, tunable caps, statement
+// content, input-matrix fingerprint — so a hit may be served across
+// analysis runs, across functions, and across goroutines. That is where the
+// wins are: a single fixed-point run rarely revisits a node with an input it
+// has seen before (the worklist already skips unchanged states), but
+// repeated analyses of the same or similar code hit constantly.
+
+// Memoize gates the transfer memo. Exposed as a variable so the
+// determinism harnesses and ablation benchmarks can compare both modes;
+// outputs are byte-identical either way.
+var Memoize = true
+
+// MemoCap bounds the number of cached transfer results (across all shards).
+// Evicted entries are dropped to the garbage collector, never recycled into
+// the matrix pools: their cell maps may be shared with live results.
+var MemoCap = 4096
+
+const memoShards = 16
+
+type memoShard struct {
+	mu  sync.Mutex
+	ent map[string]*list.Element
+	lru list.List // front = most recent; values are *memoEntry
+}
+
+type memoEntry struct {
+	key string
+	m   *Matrix // frozen: shared flags set, never mutated, never released
+}
+
+var memo [memoShards]memoShard
+
+func init() {
+	for i := range memo {
+		memo[i].ent = make(map[string]*list.Element)
+		memo[i].lru.Init()
+	}
+}
+
+// memoShardOf picks a shard by the key's last byte. Keys end with the raw
+// input fingerprint digest, so the low byte is uniformly distributed.
+func memoShardOf(key string) *memoShard {
+	if len(key) == 0 {
+		return &memo[0]
+	}
+	return &memo[key[len(key)-1]%memoShards]
+}
+
+func memoGet(key string) (*Matrix, bool) {
+	s := memoShardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.ent[key]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*memoEntry).m, true
+}
+
+func memoPut(key string, m *Matrix) {
+	s := memoShardOf(key)
+	perShard := MemoCap / memoShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.ent[key]; ok {
+		s.lru.MoveToFront(el) // concurrent miss on the same key; keep first
+		return
+	}
+	s.ent[key] = s.lru.PushFront(&memoEntry{key: key, m: m})
+	for s.lru.Len() > perShard {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.ent, back.Value.(*memoEntry).key)
+	}
+}
+
+// memoLen returns the current number of cached transfer results.
+func memoLen() int {
+	n := 0
+	for i := range memo {
+		memo[i].mu.Lock()
+		n += len(memo[i].ent)
+		memo[i].mu.Unlock()
+	}
+	return n
+}
+
+// memoReset empties the memo (tests and ablation benchmarks).
+func memoReset() {
+	for i := range memo {
+		memo[i].mu.Lock()
+		memo[i].ent = make(map[string]*list.Element)
+		memo[i].lru.Init()
+		memo[i].mu.Unlock()
+	}
+}
+
+// cloneFrozen builds a COW view of a cached matrix without writing the
+// donor. The normal Clone marks the donor shared, which would race when many
+// goroutines hit the same cached entry; frozen matrices already have their
+// shared flags set permanently, so only the new header is written. The
+// caller's variable list is substituted: fingerprints ignore variables, so a
+// hit may come from a function with a different declaration order.
+func cloneFrozen(m *Matrix, vars []string) *Matrix {
+	engineStats.clones.Add(1)
+	out := getMatrix()
+	*out = Matrix{
+		vars:        vars,
+		cells:       m.cells,
+		viols:       m.viols,
+		sharedCells: true,
+		sharedViols: true,
+		fp:          m.fp,
+	}
+	return out
+}
+
+// memoKeyPrefix builds the run-invariant part of the memo key once per
+// transferer: engine version, environment fingerprint, and every tunable
+// that changes transfer output or representation.
+func (t *transferer) memoKeyPrefix() string {
+	if t.memoPrefix == "" {
+		t.memoPrefix = EngineVersion + "\x1f" + t.env.Fingerprint() + "\x1f" +
+			strconv.Itoa(CountCap) + "," + strconv.Itoa(MaxSteps) + "," +
+			strconv.Itoa(EntrySize) + "," + strconv.FormatBool(Interning) + "\x1f"
+	}
+	return t.memoPrefix
+}
+
+// stmtKey renders a statement's transfer-relevant content canonically,
+// cached per statement pointer (statements are immutable after Build).
+func (t *transferer) stmtKey(s *norm.Stmt) string {
+	if k, ok := t.stmtKeys[s]; ok {
+		return k
+	}
+	k := strconv.Itoa(int(s.Op)) + "\x1e" + s.Dst + "\x1e" + s.Src + "\x1e" +
+		s.Base + "\x1e" + s.Field + "\x1e" + s.TypeName + "\x1e" +
+		strings.Join(s.Args, "\x1d")
+	if t.stmtKeys == nil {
+		t.stmtKeys = make(map[*norm.Stmt]string, 16)
+	}
+	t.stmtKeys[s] = k
+	return k
+}
+
+// applyMemo returns the transfer of stmt over before as a fresh COW matrix,
+// serving from the memo when possible. The caller keeps ownership of before
+// and owns the returned matrix. tab, when non-nil, collects per-run row
+// dedup stats during fingerprinting.
+func (t *transferer) applyMemo(before *Matrix, s *norm.Stmt, tab *rowTable) *Matrix {
+	if !Memoize {
+		after := before.Clone()
+		t.apply(after, s)
+		return after
+	}
+	key := t.memoKeyPrefix() + t.stmtKey(s) + "\x1f" + before.fingerprint(tab)
+	if hit, ok := memoGet(key); ok {
+		engineStats.memoHits.Add(1)
+		return cloneFrozen(hit, before.vars)
+	}
+	engineStats.memoMisses.Add(1)
+	after := before.Clone()
+	t.apply(after, s)
+	memoPut(key, after.Clone())
+	return after
+}

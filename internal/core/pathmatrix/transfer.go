@@ -86,6 +86,11 @@ func normConcat(st *shape.Type, a, b Path) (Path, bool) {
 type transferer struct {
 	env     *shape.Env
 	scratch []pending
+
+	// Memo-key caches (see memo.go): the run-invariant key prefix, and the
+	// canonical statement renderings keyed by statement pointer.
+	memoPrefix string
+	stmtKeys   map[*norm.Stmt]string
 }
 
 // apply mutates m according to stmt.

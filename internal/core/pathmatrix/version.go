@@ -3,33 +3,49 @@ package pathmatrix
 import "sync/atomic"
 
 // EngineVersion stamps analysis results produced by this package. It is part
-// of the content-addressed cache key in internal/service: bump it whenever a
-// change alters analysis output for the same input (transfer functions, join,
-// widening, path canonicalization), so stale cached results can never be
-// served for the new engine.
-const EngineVersion = "gpm-2"
+// of the content-addressed cache key in internal/service AND of the transfer
+// memo key in memo.go: bump it whenever a change alters analysis output for
+// the same input (transfer functions, join, widening, path canonicalization),
+// so stale cached results can never be served for the new engine.
+//
+// gpm-3: multi-level deduplication (shared join entries, memoized transfer
+// functions, optional liveness-based row dropping). Output is byte-identical
+// to gpm-2 with default settings, but cache keys now embed engine tunables
+// and the bump keeps pre-dedup daemon caches from being replayed.
+const EngineVersion = "gpm-3"
 
 // Stats is a snapshot of engine-wide counters since process start. The
-// counters are monotone and cheap (one atomic add per event); they feed the
-// service /metrics endpoint and capacity debugging.
+// counters are monotone and cheap (one atomic add per event) unless noted;
+// they feed the service /metrics endpoint and capacity debugging.
 type Stats struct {
 	Analyses      uint64 // completed AnalyzeCtx runs
 	Iterations    uint64 // fixed-point worklist iterations across all runs
 	Widenings     uint64 // nodes forcibly widened after exhausting the budget
 	Clones        uint64 // COW matrix clones across all runs
 	InternedPaths uint64 // distinct paths in the intern table (gauge)
+	MemoHits      uint64 // transfer results served from the memo
+	MemoMisses    uint64 // transfer results computed and cached
+	MemoEntries   uint64 // cached transfer results right now (gauge)
+	SharedRows    uint64 // join cells shared pointer-equal with a parent
+	DedupRows     uint64 // fingerprinted rows structurally seen before in-run
+	DroppedRows   uint64 // dead-variable rows dropped by the liveness pass
 }
 
 var engineStats struct {
-	analyses   atomic.Uint64
-	iterations atomic.Uint64
-	widenings  atomic.Uint64
-	clones     atomic.Uint64
+	analyses    atomic.Uint64
+	iterations  atomic.Uint64
+	widenings   atomic.Uint64
+	clones      atomic.Uint64
+	memoHits    atomic.Uint64
+	memoMisses  atomic.Uint64
+	sharedRows  atomic.Uint64
+	dedupRows   atomic.Uint64
+	droppedRows atomic.Uint64
 }
 
-// ReadStats returns the engine counters. InternedPaths is read from the
-// intern table at call time, so it reflects the current table size rather
-// than a running total.
+// ReadStats returns the engine counters. InternedPaths and MemoEntries are
+// read from their tables at call time, so they reflect current sizes rather
+// than running totals.
 func ReadStats() Stats {
 	return Stats{
 		Analyses:      engineStats.analyses.Load(),
@@ -37,5 +53,11 @@ func ReadStats() Stats {
 		Widenings:     engineStats.widenings.Load(),
 		Clones:        engineStats.clones.Load(),
 		InternedPaths: uint64(InternerStats()),
+		MemoHits:      engineStats.memoHits.Load(),
+		MemoMisses:    engineStats.memoMisses.Load(),
+		MemoEntries:   uint64(memoLen()),
+		SharedRows:    engineStats.sharedRows.Load(),
+		DedupRows:     engineStats.dedupRows.Load(),
+		DroppedRows:   engineStats.droppedRows.Load(),
 	}
 }

@@ -1,0 +1,179 @@
+package ir
+
+// Backward live-register analysis over the linear pseudo-assembly. The
+// dependence and scheduling passes use it to reason about register lifetimes;
+// it mirrors the CFG-level pass in internal/norm (which drives the path
+// matrix engine's row dropping) at the instruction level.
+
+// Liveness holds per-instruction live-register sets for one Program.
+type Liveness struct {
+	regs []string
+	idx  map[string]int
+	in   []regset // live before Instrs[i] executes
+	out  []regset // live after Instrs[i] executes
+}
+
+type regset []uint64
+
+func newRegset(n int) regset { return make(regset, (n+63)/64) }
+
+func (b regset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b regset) add(i int)      { b[i/64] |= 1 << (i % 64) }
+
+func (b regset) orWith(o regset) bool {
+	changed := false
+	for i, w := range o {
+		if b[i]|w != b[i] {
+			b[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// succs returns the instruction indices control can reach from index i.
+func succs(p *Program, labels map[string]int, i int) []int {
+	in := p.Instrs[i]
+	switch in.Op {
+	case Goto:
+		if t, ok := labels[in.Target]; ok {
+			return []int{t}
+		}
+		return nil
+	case Br:
+		out := make([]int, 0, 2)
+		if i+1 < len(p.Instrs) {
+			out = append(out, i+1)
+		}
+		if t, ok := labels[in.Target]; ok {
+			out = append(out, t)
+		}
+		return out
+	case Ret:
+		return nil
+	}
+	if i+1 < len(p.Instrs) {
+		return []int{i + 1}
+	}
+	return nil
+}
+
+// ComputeLiveness runs backward live-register dataflow to a fixed point
+// using each instruction's Uses and Defs.
+func ComputeLiveness(p *Program) *Liveness {
+	// Register universe: everything any instruction reads or writes.
+	l := &Liveness{idx: map[string]int{}}
+	seen := func(r string) {
+		if r == "" {
+			return
+		}
+		if _, ok := l.idx[r]; !ok {
+			l.idx[r] = len(l.regs)
+			l.regs = append(l.regs, r)
+		}
+	}
+	for _, in := range p.Instrs {
+		seen(in.Defs())
+		for _, r := range in.Uses() {
+			seen(r)
+		}
+	}
+	nr := len(l.regs)
+
+	labels := make(map[string]int, len(p.Instrs))
+	for i, in := range p.Instrs {
+		if in.Op == Label {
+			labels[in.Name] = i
+		}
+	}
+
+	use := make([]regset, len(p.Instrs))
+	def := make([]int, len(p.Instrs))
+	l.in = make([]regset, len(p.Instrs))
+	l.out = make([]regset, len(p.Instrs))
+	for i, in := range p.Instrs {
+		u := newRegset(nr)
+		for _, r := range in.Uses() {
+			u.add(l.idx[r])
+		}
+		use[i] = u
+		def[i] = -1
+		if d := in.Defs(); d != "" {
+			def[i] = l.idx[d]
+		}
+		l.in[i] = newRegset(nr)
+		l.out[i] = newRegset(nr)
+	}
+
+	// Predecessor lists, inverted from succs.
+	preds := make([][]int, len(p.Instrs))
+	for i := range p.Instrs {
+		for _, s := range succs(p, labels, i) {
+			preds[s] = append(preds[s], i)
+		}
+	}
+
+	work := make([]int, 0, len(p.Instrs))
+	inWork := make([]bool, len(p.Instrs))
+	for i := len(p.Instrs) - 1; i >= 0; i-- {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[i] = false
+
+		out := l.out[i]
+		for _, s := range succs(p, labels, i) {
+			out.orWith(l.in[s])
+		}
+		in := l.in[i]
+		changed := false
+		di := def[i]
+		for w := range in {
+			nw := out[w]
+			if di >= 0 && di/64 == w {
+				nw &^= 1 << (di % 64)
+			}
+			nw |= use[i][w]
+			if nw|in[w] != in[w] {
+				in[w] |= nw
+				changed = true
+			}
+		}
+		if !changed {
+			continue
+		}
+		for _, pi := range preds[i] {
+			if !inWork[pi] {
+				work = append(work, pi)
+				inWork[pi] = true
+			}
+		}
+	}
+	return l
+}
+
+// Regs returns the tracked registers in index order.
+func (l *Liveness) Regs() []string { return l.regs }
+
+// LiveIn reports whether r may be read before being rewritten starting at
+// Instrs[i]. Unknown registers are conservatively live.
+func (l *Liveness) LiveIn(i int, r string) bool {
+	ri, ok := l.idx[r]
+	if !ok || i < 0 || i >= len(l.in) {
+		return true
+	}
+	return l.in[i].has(ri)
+}
+
+// LiveOut reports whether r is live immediately after Instrs[i] executes.
+// Unknown registers are conservatively live.
+func (l *Liveness) LiveOut(i int, r string) bool {
+	ri, ok := l.idx[r]
+	if !ok || i < 0 || i >= len(l.out) {
+		return true
+	}
+	return l.out[i].has(ri)
+}

@@ -1,0 +1,58 @@
+package ir
+
+import "testing"
+
+func TestLivenessLoopRegisters(t *testing.T) {
+	p := build(t, shiftSrc, "shift")
+	l := ComputeLiveness(p)
+	if len(p.Loops) != 1 {
+		t.Fatalf("loops = %d", len(p.Loops))
+	}
+	loop := p.Loops[0]
+
+	// At the loop test, both hd and p are read on every iteration.
+	if !l.LiveIn(loop.TestStart, "p") {
+		t.Errorf("p dead at loop test; the branch reads it")
+	}
+	if !l.LiveIn(loop.TestStart, "hd") {
+		t.Errorf("hd dead at loop test; the body loads hd->x")
+	}
+
+	// Find "sub R1, R2, R3": R1 and R2 are consumed there and die; R3 is
+	// born and lives until the store.
+	sub := -1
+	for i, in := range p.Instrs {
+		if in.Op == Sub && in.Dst == "R3" {
+			sub = i
+			break
+		}
+	}
+	if sub < 0 {
+		t.Fatalf("no sub instruction in:\n%s", p)
+	}
+	if !l.LiveIn(sub, "R1") || !l.LiveIn(sub, "R2") {
+		t.Errorf("R1/R2 dead before sub; it reads both")
+	}
+	if l.LiveOut(sub, "R1") || l.LiveOut(sub, "R2") {
+		t.Errorf("R1/R2 live after sub; nothing reads them again")
+	}
+	if !l.LiveOut(sub, "R3") {
+		t.Errorf("R3 dead after sub; the store reads it")
+	}
+
+	// Registers local to the body never cross the back edge.
+	if l.LiveIn(loop.TestStart, "R1") || l.LiveIn(loop.TestStart, "R3") {
+		t.Errorf("body-local registers live across the loop test")
+	}
+}
+
+func TestLivenessUnknownRegisterConservative(t *testing.T) {
+	p := build(t, shiftSrc, "shift")
+	l := ComputeLiveness(p)
+	if !l.LiveIn(0, "nosuch") || !l.LiveOut(len(p.Instrs)-1, "nosuch") {
+		t.Errorf("unknown registers must be conservatively live")
+	}
+	if !l.LiveIn(-1, "p") || !l.LiveOut(len(p.Instrs), "p") {
+		t.Errorf("out-of-range indices must be conservatively live")
+	}
+}

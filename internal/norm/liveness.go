@@ -1,0 +1,182 @@
+package norm
+
+// Backward live-variable analysis over the normalized CFG.
+//
+// A variable is live at a point when some path from that point reads it
+// before (or without) redefining it. The path matrix engine uses the result
+// to drop rows for provably dead pointers mid-fixpoint ("Generalizing the
+// Liveness Based Points-to Analysis" motivates the same reduction for
+// points-to facts), and the alias oracles use it to answer conservatively
+// for variables whose facts were dropped.
+
+// Liveness holds per-node live-variable sets for one Graph, as bitsets over
+// a fixed variable order. Queries about variables the analysis does not
+// track answer true: an unknown name must never be reported dead.
+type Liveness struct {
+	vars []string
+	idx  map[string]int
+	in   []bitset // live before the node executes, indexed by node ID
+	out  []bitset // live after the node executes, indexed by node ID
+}
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b bitset) add(i int)      { b[i/64] |= 1 << (i % 64) }
+
+// orWith ors o into b and reports whether b changed.
+func (b bitset) orWith(o bitset) bool {
+	changed := false
+	for i, w := range o {
+		if b[i]|w != b[i] {
+			b[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// useDef reports the variables a node reads and the one it writes ("" when
+// none). Reads and writes of heap fields count as uses of the base pointer
+// only: the pointed-to node's identity is what the analysis tracks.
+func useDef(n *Node, use func(string)) (def string) {
+	switch n.Kind {
+	case NodeBranch:
+		switch n.Cond.Kind {
+		case CondNilEQ, CondNilNE:
+			use(n.Cond.Var)
+		case CondPtrEQ, CondPtrNE:
+			use(n.Cond.Var)
+			use(n.Cond.Var2)
+		}
+		return ""
+	case NodeStmt:
+		s := n.Stmt
+		switch s.Op {
+		case Assign:
+			use(s.Src)
+			return s.Dst
+		case AssignNil, AssignNew:
+			return s.Dst
+		case Deref:
+			use(s.Src)
+			return s.Dst
+		case StorePtr:
+			use(s.Base)
+			use(s.Src) // "" (NULL) is filtered by the caller
+		case ScalarRead, ScalarWrite:
+			use(s.Base)
+		case Free:
+			use(s.Base)
+		case Call:
+			for _, a := range s.Args {
+				use(a)
+			}
+		}
+	}
+	return ""
+}
+
+// ComputeLiveness runs the standard backward dataflow to a fixed point:
+// out[n] = ∪ in[succ], in[n] = use[n] ∪ (out[n] − def[n]).
+func ComputeLiveness(g *Graph) *Liveness {
+	vars := g.PointerVars()
+	l := &Liveness{
+		vars: vars,
+		idx:  make(map[string]int, len(vars)),
+		in:   make([]bitset, len(g.Nodes)),
+		out:  make([]bitset, len(g.Nodes)),
+	}
+	for i, v := range vars {
+		l.idx[v] = i
+	}
+	nv := len(vars)
+
+	use := make([]bitset, len(g.Nodes))
+	def := make([]int, len(g.Nodes)) // var index defined, or -1
+	for _, n := range g.Nodes {
+		u := newBitset(nv)
+		d := useDef(n, func(v string) {
+			if i, ok := l.idx[v]; ok {
+				u.add(i)
+			}
+		})
+		use[n.ID] = u
+		def[n.ID] = -1
+		if i, ok := l.idx[d]; ok && d != "" {
+			def[n.ID] = i
+		}
+		l.in[n.ID] = newBitset(nv)
+		l.out[n.ID] = newBitset(nv)
+	}
+
+	// Seed the worklist with every node in reverse ID order (IDs roughly
+	// follow control flow, so reverse order converges in few passes).
+	work := make([]*Node, 0, len(g.Nodes))
+	inWork := make([]bool, len(g.Nodes))
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		work = append(work, g.Nodes[i])
+		inWork[g.Nodes[i].ID] = true
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[n.ID] = false
+
+		out := l.out[n.ID]
+		for _, s := range n.Succs {
+			out.orWith(l.in[s.ID])
+		}
+		// in = use ∪ (out − def)
+		in := l.in[n.ID]
+		changed := false
+		di := def[n.ID]
+		for w := range in {
+			nw := out[w]
+			if di >= 0 && di/64 == w {
+				nw &^= 1 << (di % 64)
+			}
+			nw |= use[n.ID][w]
+			if nw|in[w] != in[w] {
+				in[w] |= nw
+				changed = true
+			}
+		}
+		if !changed {
+			continue
+		}
+		for _, p := range n.Preds {
+			if !inWork[p.ID] {
+				work = append(work, p)
+				inWork[p.ID] = true
+			}
+		}
+	}
+	return l
+}
+
+// Vars returns the tracked variables in index order.
+func (l *Liveness) Vars() []string { return l.vars }
+
+// LiveIn reports whether v may be read before being redefined on some path
+// starting at node id (inclusive of the node itself). Unknown variables are
+// conservatively live.
+func (l *Liveness) LiveIn(id int, v string) bool {
+	i, ok := l.idx[v]
+	if !ok || id < 0 || id >= len(l.in) {
+		return true
+	}
+	return l.in[id].has(i)
+}
+
+// LiveOut reports whether v is live immediately after node id executes.
+// Unknown variables are conservatively live.
+func (l *Liveness) LiveOut(id int, v string) bool {
+	i, ok := l.idx[v]
+	if !ok || id < 0 || id >= len(l.out) {
+		return true
+	}
+	return l.out[id].has(i)
+}

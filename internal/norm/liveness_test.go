@@ -1,0 +1,120 @@
+package norm
+
+import (
+	"testing"
+
+	"repro/internal/source/parser"
+	"repro/internal/source/types"
+)
+
+const livenessSrc = `
+type L [X] {
+    int data;
+    L *next is uniquely forward along X;
+};
+
+void f(L *a, L *b) {
+    L *t;
+    L *u;
+    t = a->next;
+    u = t;
+    a = u;
+    a->data = 1;
+}
+`
+
+func buildLiveness(t *testing.T, src, fn string) (*Graph, *Liveness) {
+	t.Helper()
+	info := types.MustCheck(parser.MustParse(src))
+	fi := info.Func(fn)
+	if fi == nil {
+		t.Fatalf("function %s missing", fn)
+	}
+	g := Build(fi, info.Env)
+	return g, ComputeLiveness(g)
+}
+
+// findStmt returns the first statement node whose rendering matches.
+func findStmt(t *testing.T, g *Graph, render string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Kind == NodeStmt && n.Stmt.String() == render {
+			return n
+		}
+	}
+	t.Fatalf("no statement %q in:\n%s", render, g)
+	return nil
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	g, l := buildLiveness(t, livenessSrc, "f")
+
+	// b is never read: dead everywhere, including function entry.
+	if l.LiveIn(g.Entry.ID, "b") {
+		t.Errorf("b live at entry; it is never used")
+	}
+	// a is read by the first statement, so it is live at entry.
+	if !l.LiveIn(g.Entry.ID, "a") {
+		t.Errorf("a dead at entry; t = a->next reads it")
+	}
+
+	deref := findStmt(t, g, "t = a->next")
+	// t is live right after its definition (u = t reads it) ...
+	if !l.LiveOut(deref.ID, "t") {
+		t.Errorf("t dead after its definition; u = t reads it")
+	}
+	// ... and a is dead after the deref until its redefinition.
+	if l.LiveOut(deref.ID, "a") {
+		t.Errorf("a live after t = a->next; next read is after a = u")
+	}
+
+	assign := findStmt(t, g, "a = u")
+	// t's last read was u = t: dead after a = u.
+	if l.LiveOut(assign.ID, "t") {
+		t.Errorf("t live after a = u")
+	}
+	// a was just written and write a->data reads it.
+	if !l.LiveOut(assign.ID, "a") {
+		t.Errorf("a dead after a = u; write a->data reads it")
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	src := `
+type L [X] {
+    int data;
+    L *next is uniquely forward along X;
+};
+
+void walk(L *hd) {
+    L *p;
+    p = hd->next;
+    while (p != NULL) {
+        p->data = p->data - hd->data;
+        p = p->next;
+    }
+}
+`
+	g, l := buildLiveness(t, src, "walk")
+	// hd is read inside the loop body every iteration: live at the loop
+	// branch and across the back edge.
+	for _, loop := range g.Loops {
+		if !l.LiveIn(loop.Branch.ID, "hd") {
+			t.Errorf("hd dead at loop branch; the body reads hd->data")
+		}
+		if !l.LiveIn(loop.Branch.ID, "p") {
+			t.Errorf("p dead at loop branch; the condition tests it")
+		}
+	}
+	// p is dead before its first definition.
+	if l.LiveIn(g.Entry.ID, "p") {
+		t.Errorf("p live at entry; it is written before any read")
+	}
+}
+
+func TestLivenessUnknownVarConservative(t *testing.T) {
+	g, l := buildLiveness(t, livenessSrc, "f")
+	if !l.LiveIn(g.Entry.ID, "nosuch") || !l.LiveOut(g.Exit.ID, "nosuch") {
+		t.Errorf("unknown variables must be conservatively live")
+	}
+}

@@ -1,0 +1,72 @@
+package shape
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Fingerprint returns a digest of every shape-relevant declaration in the
+// environment: type names, dimensions, integer fields, pointer fields with
+// their direction/dimension/group, and independence pairs. Two environments
+// with equal fingerprints drive the transfer functions identically, so the
+// digest is safe to use in cross-run memoization keys. A nil Env
+// fingerprints to "".
+func (e *Env) Fingerprint() string {
+	if e == nil {
+		return ""
+	}
+	e.fpOnce.Do(func() {
+		names := make([]string, 0, len(e.Types))
+		for n := range e.Types {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+
+		var b strings.Builder
+		for _, n := range names {
+			t := e.Types[n]
+			b.WriteString("type\x1f")
+			b.WriteString(t.Name)
+			b.WriteByte('\x1f')
+			for _, d := range t.Dims {
+				b.WriteString(d)
+				b.WriteByte('\x1e')
+			}
+			b.WriteByte('\x1f')
+			for _, f := range t.IntField {
+				b.WriteString(f)
+				b.WriteByte('\x1e')
+			}
+			b.WriteByte('\x1f')
+			for _, f := range t.Fields {
+				b.WriteString(f.Name)
+				b.WriteByte('\x1e')
+				b.WriteString(f.Target)
+				b.WriteByte('\x1e')
+				b.WriteString(strconv.Itoa(int(f.Dir)))
+				b.WriteByte('\x1e')
+				b.WriteString(f.Dim)
+				b.WriteByte('\x1e')
+				b.WriteString(strconv.Itoa(f.Group))
+				b.WriteByte('\x1d')
+			}
+			b.WriteByte('\x1f')
+			pairs := make([]string, 0, len(t.indep))
+			for pr := range t.indep {
+				pairs = append(pairs, pr[0]+"\x1e"+pr[1])
+			}
+			sort.Strings(pairs)
+			for _, pr := range pairs {
+				b.WriteString(pr)
+				b.WriteByte('\x1d')
+			}
+			b.WriteByte('\x1c')
+		}
+		sum := sha256.Sum256([]byte(b.String()))
+		e.fp = hex.EncodeToString(sum[:])
+	})
+	return e.fp
+}

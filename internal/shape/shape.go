@@ -93,6 +93,12 @@ func (t *Type) buildAlong() {
 // Env is the set of shape models for a program, keyed by type name.
 type Env struct {
 	Types map[string]*Type
+
+	// fpOnce/fp memoize Fingerprint. An Env is immutable once published
+	// (Check and Stripped both build fresh instances), so computing the
+	// digest once is safe.
+	fpOnce sync.Once
+	fp     string
 }
 
 // Field returns the named recursive pointer field, or nil.
