@@ -51,6 +51,9 @@ type (
 	ShapeEnv = shape.Env
 	// Matrix is a general path matrix at a program point.
 	Matrix = pathmatrix.Matrix
+	// SummaryTable holds per-function interprocedural summaries (see
+	// WithSummaries); its Computed/Reused fields report cache behavior.
+	SummaryTable = pathmatrix.SummaryTable
 	// DepGraph is a loop dependence graph.
 	DepGraph = depgraph.Graph
 	// Oracle answers may/must-alias and loop-carried queries.
@@ -159,28 +162,10 @@ type Analysis struct {
 	cfg  config
 }
 
-// Analyze runs general path matrix analysis (with the ADDS declarations)
-// over the named function and prepares its IR.
-//
-// Deprecated: use AnalyzeOpt, the context-first entry point this wraps —
-// it cancels, traces, and takes the functional options.
-func (u *Unit) Analyze(fn string) (*Analysis, error) {
-	return u.AnalyzeOpt(context.Background(), fn)
-}
-
-// AnalyzeAll analyzes every function of the unit with a bounded worker pool
-// (workers <= 0 means one per CPU).
-//
-// Deprecated: use AnalyzeAllOpt with WithWorkers — options are the one
-// configuration path of the facade.
-func (u *Unit) AnalyzeAll(ctx context.Context, workers int) (map[string]*Analysis, error) {
-	return u.AnalyzeAllOpt(ctx, WithWorkers(workers))
-}
-
 // MustAnalyze panics on error. It is a test and example helper only —
 // serving paths and tools use AnalyzeOpt and report the typed error.
 func (u *Unit) MustAnalyze(fn string) *Analysis {
-	a, err := u.Analyze(fn)
+	a, err := u.AnalyzeOpt(context.Background(), fn)
 	if err != nil {
 		panic(err)
 	}
@@ -217,10 +202,28 @@ func (a *Analysis) Validation() *validation.Result {
 }
 
 // GPMOracle returns the ADDS-informed alias oracle (the paper's analysis).
-func (a *Analysis) GPMOracle() Oracle { return alias.NewGPM(a.Graph, a.Unit.Info.Env) }
+// It inherits the analysis's interprocedural summary table, so call sites
+// answer with the same precision the per-node matrices were computed with.
+func (a *Analysis) GPMOracle() Oracle {
+	return alias.NewGPMWith(a.Graph, a.Unit.Info.Env, a.GPM.Summaries)
+}
 
-// ClassicOracle returns the annotation-free path matrix oracle.
-func (a *Analysis) ClassicOracle() Oracle { return alias.NewClassic(a.Graph, a.Unit.Info.Env) }
+// ClassicOracle returns the annotation-free path matrix oracle. When the
+// analysis ran with summaries, the classic oracle gets its own table computed
+// under the stripped environment (summary rows are environment-dependent).
+func (a *Analysis) ClassicOracle() Oracle {
+	env := a.Unit.Info.Env
+	var tab *pathmatrix.SummaryTable
+	if a.GPM.Summaries != nil {
+		tab = pathmatrix.ComputeSummaries(a.Unit.Info, env.Stripped())
+	}
+	return alias.NewClassicWith(a.Graph, env, tab)
+}
+
+// SummaryTable exposes the interprocedural summary table the analysis ran
+// with (nil for havoc-only runs). Its Computed and Reused fields report this
+// run's summary-cache misses and hits.
+func (a *Analysis) SummaryTable() *SummaryTable { return a.GPM.Summaries }
 
 // ConservativeOracle returns the worst-case baseline.
 func (a *Analysis) ConservativeOracle() Oracle { return alias.NewConservative(a.Graph) }

@@ -1,6 +1,7 @@
 package adds
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -172,7 +173,7 @@ func TestFacadeExperimentLookup(t *testing.T) {
 
 func TestAnalyzeUnknownFunction(t *testing.T) {
 	u := MustLoad(shiftSrc)
-	if _, err := u.Analyze("nope"); err == nil {
+	if _, err := u.AnalyzeOpt(context.Background(), "nope"); err == nil {
 		t.Error("unknown function not reported")
 	}
 }

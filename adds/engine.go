@@ -32,6 +32,26 @@ func SetEngineMemo(on bool) (prev bool) {
 // EngineMemoEnabled reports whether the transfer-function memo is on.
 func EngineMemoEnabled() bool { return pathmatrix.Memoize }
 
+// SetEngineSummaries enables or disables compositional interprocedural
+// analysis globally (pathmatrix.Summarize) and reports the previous setting.
+// With summaries off, every call statement applies the opaque all-args
+// havoc. Changing this changes analysis results for multi-function programs;
+// prefer the per-analysis WithSummaries option, which also serializes
+// correctly against concurrent analyses. Not synchronized: flip it only
+// between runs.
+func SetEngineSummaries(on bool) (prev bool) {
+	prev = pathmatrix.Summarize
+	pathmatrix.Summarize = on
+	return prev
+}
+
+// EngineSummariesEnabled reports whether interprocedural summaries are on.
+func EngineSummariesEnabled() bool { return pathmatrix.Summarize }
+
+// ResetEngineSummaryCache empties the process-wide content-addressed summary
+// cache (cold-cache benchmarks and tests that assert cache-miss counts).
+func ResetEngineSummaryCache() { pathmatrix.ResetSummaryCache() }
+
 // SetEngineLiveness enables or disables the engine's interleaved liveness
 // pass globally and reports the previous setting. Unlike the memo this
 // changes analysis results (dead-variable facts are dropped); prefer the

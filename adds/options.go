@@ -68,6 +68,8 @@ type config struct {
 	countCap int // 0 = package default
 	maxSteps int // 0 = package default
 	live     bool
+	sum      bool // effective only when sumSet
+	sumSet   bool
 	tracer   *Tracer
 }
 
@@ -109,6 +111,16 @@ func WithMaxSteps(n int) Option { return func(c *config) { c.maxSteps = n } }
 // against every other analysis in the process.
 func WithLiveness() Option { return func(c *config) { c.live = true } }
 
+// WithSummaries enables or disables compositional interprocedural analysis
+// (pathmatrix.Summarize) for this analysis: calls to non-recursive in-program
+// functions apply a cached per-function summary instead of the opaque havoc.
+// On by default; WithSummaries(false) is the ablation escape hatch. Same
+// serialization caveat as WithCountCap when the value differs from the
+// process default: the flag is an engine global.
+func WithSummaries(on bool) Option {
+	return func(c *config) { c.sum, c.sumSet = on, true }
+}
+
 // WithTracer attaches a tracer to the analysis so every phase (parse and
 // typecheck happen in LoadCtx; normalization, the per-statement fixpoint,
 // IR building, and the transformation helpers here) lands as a span on one
@@ -124,7 +136,8 @@ func WithTracer(t *Tracer) Option { return func(c *config) { c.tracer = t } }
 var capMu sync.RWMutex
 
 func withCaps(cfg config, f func() error) error {
-	if cfg.countCap == 0 && cfg.maxSteps == 0 && !cfg.live {
+	if cfg.countCap == 0 && cfg.maxSteps == 0 && !cfg.live &&
+		(!cfg.sumSet || cfg.sum == pathmatrix.Summarize) {
 		capMu.RLock()
 		defer capMu.RUnlock()
 		return f()
@@ -133,9 +146,11 @@ func withCaps(cfg config, f func() error) error {
 	defer capMu.Unlock()
 	oldCap, oldSteps := pathmatrix.CountCap, pathmatrix.MaxSteps
 	oldLive := pathmatrix.Liveness
+	oldSum := pathmatrix.Summarize
 	defer func() {
 		pathmatrix.CountCap, pathmatrix.MaxSteps = oldCap, oldSteps
 		pathmatrix.Liveness = oldLive
+		pathmatrix.Summarize = oldSum
 	}()
 	if cfg.countCap > 0 {
 		pathmatrix.CountCap = cfg.countCap
@@ -145,6 +160,9 @@ func withCaps(cfg config, f func() error) error {
 	}
 	if cfg.live {
 		pathmatrix.Liveness = true
+	}
+	if cfg.sumSet {
+		pathmatrix.Summarize = cfg.sum
 	}
 	return f()
 }
@@ -178,7 +196,17 @@ func (u *Unit) AnalyzeOpt(ctx context.Context, fn string, opts ...Option) (*Anal
 		span.SetAttr("fn", fn)
 		g := norm.Build(fi, u.Info.Env)
 		span.End()
-		r, err := pathmatrix.AnalyzeCtx(ctx, g, u.Info.Env)
+		// Single-function analysis shares the program-wide summary table;
+		// the content-addressed cache makes repeated computation cheap.
+		var tab *pathmatrix.SummaryTable
+		if pathmatrix.Summarize {
+			t, err := pathmatrix.ComputeSummariesCtx(ctx, u.Info, u.Info.Env)
+			if err != nil {
+				return err
+			}
+			tab = t
+		}
+		r, err := pathmatrix.AnalyzeCtxWith(ctx, g, u.Info.Env, tab)
 		if err != nil {
 			return err
 		}

@@ -128,7 +128,17 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	for _, d := range defs {
 		byID[strings.ToUpper(d.ID)] = d
 	}
+	// The bench-only summary pseudo-experiments (SUMC/SUMW) are always
+	// addressable by id; -bench runs them by default so the perf trajectory
+	// records the warm/cold summary-cache delta.
+	sumDefs := summaryBenchDefs()
+	for _, d := range sumDefs {
+		byID[strings.ToUpper(d.ID)] = d
+	}
 	toRun := defs
+	if *bench {
+		toRun = append(append([]adds.ExperimentDef{}, defs...), sumDefs...)
+	}
 	if ids := fs.Args(); len(ids) > 0 {
 		toRun = nil
 		for _, id := range ids {

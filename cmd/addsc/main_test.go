@@ -259,7 +259,7 @@ func TestTraceSpanTree(t *testing.T) {
 			t.Errorf("fixpoint span has no iterations attr: %q", sp.attrs)
 		}
 	}
-	want := []string{"parse", "shape", "typecheck", "normalize", "fixpoint", "ir", "depgraph"}
+	want := []string{"parse", "shape", "typecheck", "normalize", "summaries", "fixpoint", "ir", "depgraph"}
 	if strings.Join(phaseOrder, ",") != strings.Join(want, ",") {
 		t.Errorf("phase order = %v, want %v", phaseOrder, want)
 	}

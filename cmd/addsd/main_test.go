@@ -7,17 +7,38 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 )
+
+// logBuffer is a concurrency-safe buffer for the daemon's output: the
+// handler goroutines write access-log lines while run's goroutine writes
+// lifecycle lines and the test reads.
+type logBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *logBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *logBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
 
 // startDaemon runs the daemon in-process on an ephemeral port and returns
 // its base URL plus a function that delivers SIGINT and waits for the
 // graceful drain to finish.
 func startDaemon(t *testing.T, extraArgs ...string) (string, func() (int, string)) {
 	t.Helper()
-	var out bytes.Buffer
+	var out logBuffer
 	ready := make(chan string, 1)
 	done := make(chan int, 1)
 	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -47,7 +48,7 @@ func TestListopsEndToEnd(t *testing.T) {
 func TestListopsAnalyses(t *testing.T) {
 	unit := loadListops(t)
 	for _, fn := range []string{"build", "shift", "sum", "removeAfter", "reverse", "main"} {
-		an, err := unit.Analyze(fn)
+		an, err := unit.AnalyzeOpt(context.Background(), fn)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -13,6 +13,8 @@
 package alias
 
 import (
+	"context"
+
 	"repro/internal/core/pathmatrix"
 	"repro/internal/norm"
 	"repro/internal/shape"
@@ -91,9 +93,20 @@ type GPM struct {
 
 // NewGPM runs general path matrix analysis with the full ADDS environment.
 func NewGPM(g *norm.Graph, env *shape.Env) *GPM {
+	return NewGPMWith(g, env, nil)
+}
+
+// NewGPMWith is NewGPM with an interprocedural summary table (see
+// pathmatrix.ComputeSummaries); nil falls back to the opaque call havoc.
+func NewGPMWith(g *norm.Graph, env *shape.Env, tab *pathmatrix.SummaryTable) *GPM {
+	res, err := pathmatrix.AnalyzeCtxWith(context.Background(), g, env, tab)
+	if err != nil {
+		// Background contexts never expire; this is unreachable.
+		panic("alias: " + err.Error())
+	}
 	return &GPM{
 		name:  "adds+gpm",
-		res:   pathmatrix.Analyze(g, env),
+		res:   res,
 		iters: map[*norm.Loop]*pathmatrix.Matrix{},
 	}
 }
@@ -101,9 +114,22 @@ func NewGPM(g *norm.Graph, env *shape.Env) *GPM {
 // NewClassic runs the engine with directions stripped, modelling path matrix
 // analysis without ADDS declarations.
 func NewClassic(g *norm.Graph, env *shape.Env) *GPM {
+	return NewClassicWith(g, env, nil)
+}
+
+// NewClassicWith is NewClassic with an interprocedural summary table. The
+// table must have been computed under env.Stripped() — summary rows depend
+// on the environment they were derived in, and mixing them across
+// environments would smuggle ADDS-informed facts into the classic oracle.
+func NewClassicWith(g *norm.Graph, env *shape.Env, tab *pathmatrix.SummaryTable) *GPM {
+	res, err := pathmatrix.AnalyzeCtxWith(context.Background(), g, env.Stripped(), tab)
+	if err != nil {
+		// Background contexts never expire; this is unreachable.
+		panic("alias: " + err.Error())
+	}
 	return &GPM{
 		name:  "classic-pm",
-		res:   pathmatrix.Analyze(g, env.Stripped()),
+		res:   res,
 		iters: map[*norm.Loop]*pathmatrix.Matrix{},
 	}
 }

@@ -25,8 +25,12 @@ type Result struct {
 	// dead-row dropping (Liveness enabled), nil otherwise. Oracles must
 	// answer conservatively about variables that are not live at the query
 	// point: their rows may have been dropped.
-	Live  *norm.Liveness
-	trans *transferer
+	Live *norm.Liveness
+	// Summaries is the interprocedural summary table the run transferred
+	// calls with, nil for havoc-only runs. IterationMatrix reuses it so the
+	// primed-variable view stays consistent with the per-node matrices.
+	Summaries *SummaryTable
+	trans     *transferer
 }
 
 // maxIterations bounds the fixed-point computation; the bounded domain
@@ -114,9 +118,40 @@ func Analyze(g *norm.Graph, env *shape.Env) *Result {
 // periodically and abandons the run with ctx's error when it is done. The
 // partial result is discarded — analysis state is not resumable.
 func AnalyzeCtx(ctx context.Context, g *norm.Graph, env *shape.Env) (*Result, error) {
+	return analyzeFull(ctx, g, env, nil)
+}
+
+// AnalyzeCtxWith is AnalyzeCtx with an interprocedural summary table: call
+// statements to summarized callees apply the callee's entry-shape →
+// exit-effect summary instead of the all-args havoc. A nil table is the
+// plain havoc analysis.
+func AnalyzeCtxWith(ctx context.Context, g *norm.Graph, env *shape.Env, tab *SummaryTable) (*Result, error) {
+	if tab == nil {
+		return analyzeFull(ctx, g, env, nil)
+	}
+	return analyzeFull(ctx, g, env, &analyzeOpts{tab: tab})
+}
+
+// analyzeOpts configures one analyzeFull run beyond the public knobs.
+type analyzeOpts struct {
+	// tab enables summary-based call transfer.
+	tab *SummaryTable
+	// shadowFormals runs the summary-computation variant: the variable set
+	// is extended with a primed shadow per pointer formal, seeded as a
+	// certain alias of its formal and never assigned, so exit rows between
+	// shadows relate the formals' ENTRY values. Liveness dropping is
+	// disabled (shadows are never "used" by any statement, and the rows are
+	// read at exit).
+	shadowFormals bool
+}
+
+// analyzeFull is the fixed-point engine behind AnalyzeCtx, AnalyzeCtxWith
+// and summary computation.
+func analyzeFull(ctx context.Context, g *norm.Graph, env *shape.Env, opts *analyzeOpts) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	shadowed := opts != nil && opts.shadowFormals
 	// The fixpoint span covers the whole per-statement worklist run. When no
 	// tracer rides the context this is one nil check; when one does, the
 	// engine stats land as span attributes so a slow analysis can name its
@@ -127,6 +162,8 @@ func AnalyzeCtx(ctx context.Context, g *norm.Graph, env *shape.Env) (*Result, er
 	memoHits0 := engineStats.memoHits.Load()
 	sharedRows0 := engineStats.sharedRows.Load()
 	droppedRows0 := engineStats.droppedRows.Load()
+	summaryApplied0 := engineStats.summaryApplied.Load()
+	summaryFallbacks0 := engineStats.summaryFallbacks.Load()
 	widenings := 0
 	res := &Result{
 		Graph:  g,
@@ -135,16 +172,27 @@ func AnalyzeCtx(ctx context.Context, g *norm.Graph, env *shape.Env) (*Result, er
 		After:  make([]*Matrix, len(g.Nodes)),
 		trans:  &transferer{env: env},
 	}
+	if opts != nil && opts.tab != nil {
+		res.Summaries = opts.tab
+		res.trans.summaries = opts.tab
+		res.trans.varRecord = recordsOf(g)
+	}
 	rt := newRowTable()
 
 	vars := g.PointerVars()
+	if shadowed {
+		vars = shadowFormalVars(g)
+	}
 	init := NewMatrix(vars)
 	initParams(init, g)
+	if shadowed {
+		seedFormalShadows(init, g)
+	}
 
 	// With liveness-based dropping enabled, precompute per-node dead sets
 	// once: the set of pointer variables not live after the node executes.
 	var deadOut []*deadVars
-	if Liveness {
+	if Liveness && !shadowed {
 		live := norm.ComputeLiveness(g)
 		res.Live = live
 		deadOut = make([]*deadVars, len(g.Nodes))
@@ -239,7 +287,11 @@ func AnalyzeCtx(ctx context.Context, g *norm.Graph, env *shape.Env) (*Result, er
 				widenings++
 			}
 			if widened == nil {
-				widened = widenedMatrix(g)
+				if shadowed {
+					widened = widenedFormalsMatrix(g)
+				} else {
+					widened = widenedMatrix(g)
+				}
 			}
 			before, after = widened, widened
 		} else {
@@ -312,9 +364,85 @@ func AnalyzeCtx(ctx context.Context, g *norm.Graph, env *shape.Env) (*Result, er
 		span.SetAttr("sharedRows", engineStats.sharedRows.Load()-sharedRows0)
 		span.SetAttr("dedupRows", rt.dups)
 		span.SetAttr("droppedRows", engineStats.droppedRows.Load()-droppedRows0)
+		if res.trans.summaries != nil {
+			span.SetAttr("summaryApplied", engineStats.summaryApplied.Load()-summaryApplied0)
+			span.SetAttr("summaryFallbacks", engineStats.summaryFallbacks.Load()-summaryFallbacks0)
+		}
 		span.End()
 	}
 	return res, nil
+}
+
+// shadowFormalVars extends the function's pointer variables with one primed
+// shadow per pointer formal, for the summary-computation runs.
+func shadowFormalVars(g *norm.Graph) []string {
+	vars := append([]string(nil), g.PointerVars()...)
+	for _, p := range g.Fn.Decl.Params {
+		if p.Pointer {
+			vars = append(vars, p.Name+Shadow)
+		}
+	}
+	return vars
+}
+
+// recordsOf maps every pointer variable of the graph — and its potential
+// shadow — to its record type name, for the summary call transfer's
+// type-taint test.
+func recordsOf(g *norm.Graph) map[string]string {
+	out := make(map[string]string, 2*len(g.VarTypes))
+	for v, t := range g.VarTypes {
+		if t.Kind != types.KindPointer {
+			continue
+		}
+		out[v] = t.Record
+		out[v+Shadow] = t.Record
+	}
+	return out
+}
+
+// seedFormalShadows records each pointer formal's shadow as a certain alias
+// of the formal at entry, generically related (like initParams) to every
+// other same-record formal and that formal's shadow. The shadows are never
+// assigned, so at exit they still denote the formals' entry values.
+func seedFormalShadows(m *Matrix, g *norm.Graph) {
+	params := g.Fn.Decl.Params
+	for i, a := range params {
+		if !a.Pointer {
+			continue
+		}
+		sh := a.Name + Shadow
+		m.addRel(sh, a.Name, Rel{Kind: RelAlias, Certain: true})
+		for j, b := range params {
+			if j == i || !b.Pointer || b.TypeName != a.TypeName {
+				continue
+			}
+			m.addRel(sh, b.Name, Rel{Kind: RelTop})
+			if j > i {
+				m.addRel(sh, b.Name+Shadow, Rel{Kind: RelTop})
+			}
+		}
+	}
+}
+
+// widenedFormalsMatrix is widenedMatrix over the shadow-extended variable
+// set of a summary-computation run.
+func widenedFormalsMatrix(g *norm.Graph) *Matrix {
+	rec := recordsOf(g)
+	vars := shadowFormalVars(g)
+	m := NewMatrix(vars)
+	for i, p := range vars {
+		rp, okp := rec[p]
+		if !okp {
+			continue
+		}
+		for _, q := range vars[i+1:] {
+			if rq, okq := rec[q]; okq && rp == rq {
+				m.addRel(p, q, Rel{Kind: RelTop})
+			}
+		}
+	}
+	m.addViolation(Violation{Prop: "widened"})
+	return m
 }
 
 // initParams seeds the entry matrix: pointer parameters of the same record
@@ -474,8 +602,12 @@ func (r *Result) IterationMatrix(l *norm.Loop) *Matrix {
 	// into the loop head are joined to form the result.
 	bodyEntry := l.Branch.Succs[0]
 	// A fresh transferer: r.trans carries per-goroutine scratch state, and
-	// IterationMatrix may be called concurrently on one Result.
-	trans := &transferer{env: r.Env}
+	// IterationMatrix may be called concurrently on one Result. It inherits
+	// the run's summary table so calls in the body transfer the same way.
+	trans := &transferer{env: r.Env, summaries: r.Summaries}
+	if r.Summaries != nil {
+		trans.varRecord = recordsOf(r.Graph)
+	}
 	states := map[int]*Matrix{bodyEntry.ID: m}
 	edgeOut := map[int][]*Matrix{}
 	work := []*norm.Node{bodyEntry}
@@ -606,12 +738,24 @@ func AnalyzeProgramCtx(ctx context.Context, info *types.Info, env *shape.Env, wo
 		workers = len(names)
 	}
 
+	// The summary table is computed serially up front (bottom-up over the
+	// call graph) and then shared read-only by all workers, so the result is
+	// independent of worker count and scheduling.
+	var opts *analyzeOpts
+	if Summarize {
+		tab, err := ComputeSummariesCtx(ctx, info, env)
+		if err != nil {
+			return nil, err
+		}
+		opts = &analyzeOpts{tab: tab}
+	}
+
 	analyzeOne := func(name string) (*FuncResult, error) {
 		fi := info.Funcs[name]
 		fctx, span := obs.Start(ctx, "analyze")
 		span.SetAttr("fn", name)
 		g := norm.Build(fi, info.Env)
-		r, err := AnalyzeCtx(fctx, g, env)
+		r, err := analyzeFull(fctx, g, env, opts)
 		span.End()
 		if err != nil {
 			return nil, err

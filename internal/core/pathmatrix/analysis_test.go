@@ -1,6 +1,7 @@
 package pathmatrix
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -42,6 +43,23 @@ func analyzeFn(t *testing.T, src, fn string) (*Result, *norm.Graph) {
 	}
 	g := norm.Build(fi, info.Env)
 	return Analyze(g, info.Env), g
+}
+
+// analyzeFnSum analyzes fn compositionally, under a summary table computed
+// for the whole program.
+func analyzeFnSum(t *testing.T, src, fn string) (*Result, *norm.Graph) {
+	t.Helper()
+	info := types.MustCheck(parser.MustParse(src))
+	fi := info.Func(fn)
+	if fi == nil {
+		t.Fatalf("function %s missing", fn)
+	}
+	g := norm.Build(fi, info.Env)
+	r, err := AnalyzeCtxWith(context.Background(), g, info.Env, ComputeSummaries(info, info.Env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, g
 }
 
 // analyzeStripped runs the annotation-free (classic) analysis.
@@ -503,7 +521,9 @@ void f(TwoWayLL *p) {
 }
 
 func TestCallDoesNotTouchUnrelated(t *testing.T) {
-	r, g := analyzeFn(t, twoWayLL+`
+	// Under a summary table the callee is known mutation-free, so the call
+	// leaves every relation (and validity) untouched.
+	r, g := analyzeFnSum(t, twoWayLL+`
 void callee(TwoWayLL *x) { x = x; }
 void f(TwoWayLL *p) {
     TwoWayLL *q, *other;
@@ -514,6 +534,27 @@ void f(TwoWayLL *p) {
 	m := exitMatrix(r, g)
 	if m.MayAlias("other", "p") || m.MayAlias("other", "q") {
 		t.Error("call must not affect provably separate structures")
+	}
+	if !m.related("p", "q") {
+		t.Error("q = p->next must survive a mutation-free call")
+	}
+	if !m.Valid() {
+		t.Error("a mutation-free callee cannot break the abstraction")
+	}
+}
+
+// TestCallWithoutSummariesTaintsValidity pins the havoc-only contract: with
+// no information about the callee, the analysis cannot keep claiming the
+// declared abstraction holds after the call — the callee may have broken it
+// in ways havoc relations do not express (e.g. a backward self-loop).
+func TestCallWithoutSummariesTaintsValidity(t *testing.T) {
+	r, g := analyzeFn(t, twoWayLL+`
+void callee(TwoWayLL *x) { x = x; }
+void f(TwoWayLL *p) {
+    callee(p);
+}`, "f")
+	if exitMatrix(r, g).Valid() {
+		t.Error("opaque call must taint validity")
 	}
 }
 

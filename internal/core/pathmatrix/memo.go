@@ -135,12 +135,11 @@ func cloneFrozen(m *Matrix, vars []string) *Matrix {
 
 // memoKeyPrefix builds the run-invariant part of the memo key once per
 // transferer: engine version, environment fingerprint, and every tunable
-// that changes transfer output or representation.
+// that changes transfer output or representation (shared with the summary
+// cache key, see enginePrefix).
 func (t *transferer) memoKeyPrefix() string {
 	if t.memoPrefix == "" {
-		t.memoPrefix = EngineVersion + "\x1f" + t.env.Fingerprint() + "\x1f" +
-			strconv.Itoa(CountCap) + "," + strconv.Itoa(MaxSteps) + "," +
-			strconv.Itoa(EntrySize) + "," + strconv.FormatBool(Interning) + "\x1f"
+		t.memoPrefix = enginePrefix(t.env)
 	}
 	return t.memoPrefix
 }
@@ -153,7 +152,8 @@ func (t *transferer) stmtKey(s *norm.Stmt) string {
 	}
 	k := strconv.Itoa(int(s.Op)) + "\x1e" + s.Dst + "\x1e" + s.Src + "\x1e" +
 		s.Base + "\x1e" + s.Field + "\x1e" + s.TypeName + "\x1e" +
-		strings.Join(s.Args, "\x1d")
+		strings.Join(s.Args, "\x1d") + "\x1e" + s.Callee + "\x1e" +
+		strings.Join(s.Bind, "\x1d")
 	if t.stmtKeys == nil {
 		t.stmtKeys = make(map[*norm.Stmt]string, 16)
 	}
@@ -165,8 +165,15 @@ func (t *transferer) stmtKey(s *norm.Stmt) string {
 // serving from the memo when possible. The caller keeps ownership of before
 // and owns the returned matrix. tab, when non-nil, collects per-run row
 // dedup stats during fingerprinting.
+//
+// With a summary table active, call statements bypass the memo entirely: the
+// summary CONTENT the transfer consults is not part of the key (only the
+// callee name is), so a hit could replay another program's — or a stale —
+// summary effect. That covers fallback-havoc calls too: whether a call
+// havocs or summarizes is itself table-dependent. Havoc-only runs keep
+// memoizing calls; the havoc depends only on the statement and the matrix.
 func (t *transferer) applyMemo(before *Matrix, s *norm.Stmt, tab *rowTable) *Matrix {
-	if !Memoize {
+	if !Memoize || (s.Op == norm.Call && t.summaries != nil) {
 		after := before.Clone()
 		t.apply(after, s)
 		return after

@@ -99,22 +99,22 @@ func (e Entry) clone() Entry {
 }
 
 // add inserts a relation, merging certainty (certain wins on same key) and
-// collapsing to Top when the entry grows too large. Alias relations survive
-// saturation: Top means "unknown paths may exist", which never cancels a
-// known equality. It returns the updated entry (possibly freshly allocated).
+// collapsing to Top when the entry grows too large. Alias relations and
+// certain path relations survive saturation: Top means "unknown paths may
+// exist", which cancels neither a known equality nor an edge a store
+// provably created. Keeping certain paths is what lets Def 4.6 backward
+// validation succeed right after the forward half of a doubly-linked store
+// pair even between Top-related pointers (e.g. a summary's generic formal
+// entry). It returns the updated entry (possibly freshly allocated).
 func (e Entry) add(r Rel) Entry {
 	if e == nil {
 		e = Entry{}
 	}
-	if _, isTop := e["??"]; isTop && r.Kind != RelAlias {
-		return e // saturated; only alias facts still matter
+	if _, isTop := e["??"]; isTop && !r.survivesTop() {
+		return e // saturated; only alias and certain-path facts still matter
 	}
 	if r.Kind == RelTop {
-		out := Entry{"??": {Kind: RelTop}}
-		if a, ok := e["="]; ok {
-			out["="] = a
-		}
-		return out
+		return e.saturate()
 	}
 	k := r.key()
 	if old, ok := e[k]; ok {
@@ -124,14 +124,27 @@ func (e Entry) add(r Rel) Entry {
 		return e
 	}
 	e[k] = r
-	if len(e) > EntrySize {
-		out := Entry{"??": {Kind: RelTop}}
-		if a, ok := e["="]; ok {
-			out["="] = a
-		}
-		return out
+	if _, isTop := e["??"]; !isTop && len(e) > EntrySize {
+		return e.saturate()
 	}
 	return e
+}
+
+// survivesTop reports whether the relation carries information Top cannot
+// subsume: a known equality, or a definitely-present path.
+func (r Rel) survivesTop() bool {
+	return r.Kind == RelAlias || (r.Kind == RelPath && r.Certain)
+}
+
+// saturate collapses the entry to Top plus the facts Top cannot cancel.
+func (e Entry) saturate() Entry {
+	out := Entry{"??": {Kind: RelTop}}
+	for k, r := range e {
+		if r.survivesTop() {
+			out[k] = r
+		}
+	}
+	return out
 }
 
 // hasAliasInfo reports whether the entry admits aliasing (alias or top).
@@ -339,10 +352,10 @@ func equalEntries(a, b Entry) bool {
 // with the field whose property is violated so a repairing store can clear
 // it (Section 5.1.1).
 type Violation struct {
-	Prop    string // "unique", "acyclic", "group-disjoint", "backward"
+	Prop    string // "unique", "acyclic", "group-disjoint", "backward", "call"
 	Field   string
 	Partner string // paired field (Def 4.6); a store to it also repairs
-	Base    string // variable whose store caused the violation
+	Base    string // variable whose store caused the violation; callee name for "call"
 	Other   string // second variable involved, if any
 }
 
@@ -351,6 +364,8 @@ func (v Violation) String() string {
 	detail := v.Field
 	if v.Other != "" {
 		detail += ";" + v.Base + "," + v.Other
+	} else if detail == "" {
+		detail = v.Base // "call" violations carry only the callee
 	}
 	return fmt.Sprintf("!%s(%s)", v.Prop, detail)
 }

@@ -1,0 +1,591 @@
+package pathmatrix
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/norm"
+	"repro/internal/obs"
+	"repro/internal/shape"
+	"repro/internal/source/ast"
+	"repro/internal/source/types"
+)
+
+// Compositional interprocedural analysis: per-function summaries.
+//
+// A summary describes one function as an entry-shape → exit-effect
+// abstraction, computed once per function body from a generic entry state
+// (the same "parameters of one record type may be arbitrarily related"
+// assumption initParams makes for every analysis). The trick is the paper's
+// primed-variable device from the iteration matrix, applied at function
+// granularity: each pointer formal p gets a shadow p' seeded as a certain
+// alias of p and never assigned, so at exit the matrix rows between shadows
+// relate the ENTRY values of the formals — exactly the values the caller's
+// actuals hold at the call site.
+//
+// Soundness rests on three properties of the mini language: arguments are
+// passed by value, there are no globals, and functions cannot return
+// pointers. A call therefore never changes any caller variable binding —
+// only heap links reachable from the actuals. Aliasing between caller
+// variables is exactly preserved across any call, and a caller entry (x, y)
+// can change only if a path between them routes through a mutated node.
+// Every mutated link emanates from a node whose record type the callee
+// wrote (the summary's Writes set), and every node on a path from x has a
+// type reachable from x's record type, so an entry whose source variable's
+// reachable types are disjoint from Writes is untouched. That is the
+// type-taint test the call transfer applies (transfer.go, applySummary).
+//
+// Recursive functions (any call cycle, including self-calls) get no
+// summary; calls to them keep the sound all-args havoc. The same fallback
+// guards two call-site preconditions the generic entry state bakes in: the
+// caller matrix must be violation-free (absent entries are only "provably
+// unrelated" then), and actuals bound to formals of different record types
+// must be provably unrelated (the generic entry assumes exactly that).
+//
+// Alongside the row summaries, the table records per-function EFFECTS for
+// every in-program function, recursive ones included: the record types the
+// function may shape-mutate and whether it shape-mutates at all. Effects
+// make two call-site judgements possible that rows alone cannot: a call to
+// a function that never stores a pointer field is a path-matrix no-op, and
+// a call to a shape mutator whose generic-entry validation does not cover
+// the call site's actual aliasing must taint the caller's validity (the
+// callee may have broken the declared abstraction without its own analysis
+// noticing — store validation only triggers on explicitly denoted
+// relations, and the generic entry denotes none).
+
+// Summarize gates summary-based call transfer in AnalyzeProgramCtx and the
+// facade. Exposed as a variable so ablation harnesses (addsfuzz -summaries,
+// addsbench) can compare against the pure-havoc engine.
+var Summarize = true
+
+// SummaryCap bounds the process-wide summary cache (whole summaries, not
+// bytes; summaries are a few matrix rows each).
+var SummaryCap = 1024
+
+// FuncSummary is the cached entry-shape → exit-effect abstraction of one
+// function. It is frozen after construction and may be shared by any number
+// of concurrent analyses.
+type FuncSummary struct {
+	Fn           string
+	Formals      []string // pointer formal names, declaration order
+	FormalPos    []int    // argument position of each pointer formal
+	FormalRecord []string // record type of each pointer formal
+
+	// Rows holds the exit relations between the entry values of each
+	// ordered pair of pointer formals, keyed by formal name pair. Alias
+	// relations are ignored at instantiation (caller aliasing is exactly
+	// preserved by value semantics); Via provenance is stripped (it names
+	// callee-local stores). A missing key means provably unrelated.
+	Rows map[[2]string]Entry
+
+	// ExitInvalid reports that the generic-entry exit state carried
+	// outstanding violations (or never reached the exit): the function may
+	// leave structures breaking their declarations on ANY entry state, so
+	// every call site must taint the caller's validity.
+	ExitInvalid bool
+
+	hash string // content-addressed cache key
+}
+
+// FuncEffects describes what one function's execution can do to heap state
+// reachable from its arguments, computed for every in-program function —
+// recursive ones included — as the union over its strongly connected call
+// component. Unlike row summaries, effects are recomputed per table (they
+// are cheap) and never enter the process-wide cache.
+type FuncEffects struct {
+	// Writes is the set of record types whose nodes the function or any
+	// transitive callee may shape-mutate (pointer stores and frees;
+	// out-of-program callees contribute the full reachable closure of their
+	// argument types).
+	Writes map[string]bool
+	// ShapeMut reports whether the function or any transitive callee
+	// performs any shape mutation at all. When false the call is a
+	// path-matrix no-op: data writes cannot change pointer relations or
+	// break a declared abstraction.
+	ShapeMut bool
+}
+
+// SummaryTable holds the summaries for one program under one shape
+// environment. It is immutable after ComputeSummariesCtx returns and is
+// shared read-only by all analysis goroutines.
+type SummaryTable struct {
+	env       *shape.Env
+	byFn      map[string]*FuncSummary
+	effects   map[string]*FuncEffects
+	recursive map[string]bool
+	reach     map[string]map[string]bool // record type → reachable record types (incl. itself)
+
+	// Computed and Reused count this table's cache misses and hits; the
+	// /v1/reanalyze endpoint reports them per request.
+	Computed int
+	Reused   int
+}
+
+// Lookup returns the summary for fn, or nil (recursive or unknown).
+func (t *SummaryTable) Lookup(fn string) *FuncSummary {
+	if t == nil {
+		return nil
+	}
+	return t.byFn[fn]
+}
+
+// Effects returns fn's effects, or nil for a function outside the program.
+func (t *SummaryTable) Effects(fn string) *FuncEffects {
+	if t == nil {
+		return nil
+	}
+	return t.effects[fn]
+}
+
+// Recursive reports whether fn sits on a call cycle (and thus has no
+// summary by design, as opposed to being unknown).
+func (t *SummaryTable) Recursive(fn string) bool { return t != nil && t.recursive[fn] }
+
+// Len returns the number of summarized functions.
+func (t *SummaryTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.byFn)
+}
+
+// Hash returns the content hash of fn's summary ("" if none).
+func (t *SummaryTable) Hash(fn string) string {
+	if s := t.Lookup(fn); s != nil {
+		return s.hash
+	}
+	return ""
+}
+
+// reachIntersects reports whether any record type reachable from rec is in
+// writes. Unknown record types answer true: never claim disjointness
+// without a declaration to back it.
+func (t *SummaryTable) reachIntersects(rec string, writes map[string]bool) bool {
+	set, ok := t.reach[rec]
+	if !ok {
+		return true
+	}
+	for r := range set {
+		if writes[r] {
+			return true
+		}
+	}
+	return false
+}
+
+// reachClosure computes, for every declared record type, the set of record
+// types reachable through pointer fields (including itself).
+func reachClosure(env *shape.Env) map[string]map[string]bool {
+	out := make(map[string]map[string]bool, len(env.Types))
+	for name := range env.Types {
+		set := map[string]bool{}
+		var visit func(string)
+		visit = func(n string) {
+			if set[n] {
+				return
+			}
+			set[n] = true
+			if st := env.Type(n); st != nil {
+				for _, f := range st.Fields {
+					visit(f.Target)
+				}
+			}
+		}
+		visit(name)
+		out[name] = set
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Call graph
+
+// callGraph returns each function's distinct in-program callees (sorted) in
+// one map, built from the AST so it matches what the normalizer will lower.
+func callGraph(prog *ast.Program) map[string][]string {
+	out := make(map[string][]string, len(prog.Funcs))
+	for _, fd := range prog.Funcs {
+		seen := map[string]bool{}
+		var callees []string
+		ast.WalkExprs(fd.Body, func(e ast.Expr) {
+			c, ok := e.(*ast.CallExpr)
+			if !ok || seen[c.Name] {
+				return
+			}
+			seen[c.Name] = true
+			if prog.FuncByName(c.Name) != nil {
+				callees = append(callees, c.Name)
+			}
+		})
+		sort.Strings(callees)
+		out[fd.Name] = callees
+	}
+	return out
+}
+
+// callOrder returns the strongly connected call components in bottom-up
+// order (callees before callers, via Tarjan's SCC algorithm, which emits
+// components in reverse topological order) and the set of names on a call
+// cycle.
+func callOrder(prog *ast.Program, callees map[string][]string) (sccs [][]string, recursive map[string]bool) {
+	recursive = map[string]bool{}
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+
+	var connect func(v string)
+	connect = func(v string) {
+		next++
+		index[v], low[v] = next, next
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range callees[v] {
+			if _, seen := index[w]; !seen {
+				connect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] != index[v] {
+			return
+		}
+		// v roots an SCC: pop it.
+		var scc []string
+		for {
+			w := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			onStack[w] = false
+			scc = append(scc, w)
+			if w == v {
+				break
+			}
+		}
+		selfCall := false
+		for _, c := range callees[v] {
+			if c == v {
+				selfCall = true
+			}
+		}
+		if len(scc) > 1 || selfCall {
+			for _, w := range scc {
+				recursive[w] = true
+			}
+		}
+		sort.Strings(scc) // deterministic within a component
+		sccs = append(sccs, scc)
+	}
+	for _, fd := range prog.Funcs {
+		if _, seen := index[fd.Name]; !seen {
+			connect(fd.Name)
+		}
+	}
+	return sccs, recursive
+}
+
+// ---------------------------------------------------------------------------
+// Content-addressed summary cache
+
+type summaryCacheEntry struct {
+	key string
+	sum *FuncSummary
+}
+
+var summaryCache struct {
+	mu  sync.Mutex
+	ent map[string]*list.Element
+	lru list.List // front = most recent; values are *summaryCacheEntry
+}
+
+func init() {
+	summaryCache.ent = make(map[string]*list.Element)
+	summaryCache.lru.Init()
+}
+
+func summaryCacheGet(key string) (*FuncSummary, bool) {
+	summaryCache.mu.Lock()
+	defer summaryCache.mu.Unlock()
+	el, ok := summaryCache.ent[key]
+	if !ok {
+		return nil, false
+	}
+	summaryCache.lru.MoveToFront(el)
+	return el.Value.(*summaryCacheEntry).sum, true
+}
+
+func summaryCachePut(key string, sum *FuncSummary) {
+	summaryCache.mu.Lock()
+	defer summaryCache.mu.Unlock()
+	if el, ok := summaryCache.ent[key]; ok {
+		summaryCache.lru.MoveToFront(el) // concurrent miss on the same key
+		return
+	}
+	summaryCache.ent[key] = summaryCache.lru.PushFront(&summaryCacheEntry{key: key, sum: sum})
+	limit := SummaryCap
+	if limit < 1 {
+		limit = 1
+	}
+	for summaryCache.lru.Len() > limit {
+		back := summaryCache.lru.Back()
+		summaryCache.lru.Remove(back)
+		delete(summaryCache.ent, back.Value.(*summaryCacheEntry).key)
+	}
+}
+
+func summaryCacheLen() int {
+	summaryCache.mu.Lock()
+	defer summaryCache.mu.Unlock()
+	return len(summaryCache.ent)
+}
+
+// ResetSummaryCache empties the process-wide summary cache (tests and the
+// cold-cache benchmark).
+func ResetSummaryCache() {
+	summaryCache.mu.Lock()
+	defer summaryCache.mu.Unlock()
+	summaryCache.ent = make(map[string]*list.Element)
+	summaryCache.lru.Init()
+}
+
+// enginePrefix is the run-invariant part of every content-addressed engine
+// key: version, environment fingerprint, and the tunables that change
+// transfer output or representation. Shared by the transfer memo and the
+// summary cache.
+func enginePrefix(env *shape.Env) string {
+	return EngineVersion + "\x1f" + env.Fingerprint() + "\x1f" +
+		fmt.Sprintf("%d,%d,%d,%t", CountCap, MaxSteps, EntrySize, Interning) + "\x1f"
+}
+
+// summaryKey builds the content-addressed cache key for one function:
+// SHA-256 over the engine prefix, the canonical function source, and the
+// sorted callee contributions — a callee's own summary hash when it has
+// one, its effects fingerprint otherwise. The fingerprint is what an
+// unsummarized callee's body contributes to this function's analysis (the
+// fallback havoc-or-no-op and the validity taint read only effects), so a
+// recursive callee edit that changes its effects re-keys its callers while
+// an effect-preserving edit keeps their cached summaries valid. Summaries
+// re-key transitively when any summarized callee's body changes.
+func summaryKey(env *shape.Env, fd *ast.FuncDecl, callees []string, tab *SummaryTable) string {
+	var b strings.Builder
+	b.WriteString(enginePrefix(env))
+	b.WriteString(ast.FuncString(fd))
+	for _, c := range callees {
+		b.WriteByte('\x1e')
+		if s := tab.byFn[c]; s != nil {
+			b.WriteString(s.hash)
+		} else {
+			b.WriteString("eff:" + c + "\x1f" + tab.effects[c].fingerprint())
+		}
+	}
+	return fmt.Sprintf("sha256:%x", sha256.Sum256([]byte(b.String())))
+}
+
+// fingerprint renders the effects canonically for key material.
+func (e *FuncEffects) fingerprint() string {
+	if e == nil {
+		return "?"
+	}
+	recs := make([]string, 0, len(e.Writes))
+	for r := range e.Writes {
+		recs = append(recs, r)
+	}
+	sort.Strings(recs)
+	return fmt.Sprintf("%t|%s", e.ShapeMut, strings.Join(recs, ","))
+}
+
+// ---------------------------------------------------------------------------
+// Summary computation
+
+// ComputeSummaries is ComputeSummariesCtx with a background context.
+func ComputeSummaries(info *types.Info, env *shape.Env) *SummaryTable {
+	tab, err := ComputeSummariesCtx(context.Background(), info, env)
+	if err != nil {
+		// Background contexts never expire; this is unreachable.
+		panic("pathmatrix: " + err.Error())
+	}
+	return tab
+}
+
+// ComputeSummariesCtx builds the summary table for a checked program:
+// functions in bottom-up call order, recursive cycles skipped, every
+// summary served from the process-wide content-addressed cache when its
+// key — SHA-256(canonical body, callee summary hashes, engine version,
+// knobs, environment fingerprint) — has been computed before, by any run
+// of any program.
+func ComputeSummariesCtx(ctx context.Context, info *types.Info, env *shape.Env) (*SummaryTable, error) {
+	_, span := obs.Start(ctx, "summaries")
+	tab := &SummaryTable{
+		env:       env,
+		byFn:      map[string]*FuncSummary{},
+		effects:   map[string]*FuncEffects{},
+		recursive: map[string]bool{},
+		reach:     reachClosure(env),
+	}
+	callees := callGraph(info.Prog)
+	sccs, recursive := callOrder(info.Prog, callees)
+	functions := 0
+	for _, scc := range sccs {
+		functions += len(scc)
+		tab.computeEffects(scc, info)
+		for _, name := range scc {
+			if recursive[name] {
+				tab.recursive[name] = true
+				continue
+			}
+			fi := info.Funcs[name]
+			if fi == nil {
+				continue
+			}
+			key := summaryKey(env, fi.Decl, callees[name], tab)
+			if sum, ok := summaryCacheGet(key); ok {
+				tab.byFn[name] = sum
+				tab.Reused++
+				engineStats.summaryReused.Add(1)
+				continue
+			}
+			sum, err := tab.computeSummary(ctx, fi, info)
+			if err != nil {
+				span.SetAttr("cancelled", true)
+				span.End()
+				return nil, err
+			}
+			sum.hash = key
+			summaryCachePut(key, sum)
+			tab.byFn[name] = sum
+			tab.Computed++
+			engineStats.summaryComputed.Add(1)
+		}
+	}
+	if span != nil {
+		span.SetAttr("functions", functions)
+		span.SetAttr("computed", tab.Computed)
+		span.SetAttr("reused", tab.Reused)
+		span.End()
+	}
+	return tab, nil
+}
+
+// computeSummary runs the shadow-formal fixpoint for one function and
+// extracts the summary. Callee summaries already in tab (bottom-up order)
+// make inner call sites compositional too.
+func (tab *SummaryTable) computeSummary(ctx context.Context, fi *types.FuncInfo, info *types.Info) (*FuncSummary, error) {
+	g := norm.Build(fi, info.Env)
+	res, err := analyzeFull(ctx, g, tab.env, &analyzeOpts{tab: tab, shadowFormals: true})
+	if err != nil {
+		return nil, err
+	}
+
+	sum := &FuncSummary{Fn: fi.Decl.Name, Rows: map[[2]string]Entry{}}
+	for pos, p := range fi.Decl.Params {
+		if !p.Pointer {
+			continue
+		}
+		sum.Formals = append(sum.Formals, p.Name)
+		sum.FormalPos = append(sum.FormalPos, pos)
+		sum.FormalRecord = append(sum.FormalRecord, p.TypeName)
+	}
+	// Exit rows between the entry-value shadows. An invalid exit state
+	// (outstanding violations, or an exit the function never reaches) may
+	// be missing derived relations, so every row degrades to include Top —
+	// the havoc-equivalent unknown — and the call transfer must taint every
+	// call site's validity (ExitInvalid).
+	exit := res.Before[g.Exit.ID]
+	valid := exit != nil && exit.Valid()
+	sum.ExitInvalid = !valid
+	for i, p := range sum.Formals {
+		for j, q := range sum.Formals {
+			if i == j {
+				continue
+			}
+			var e Entry
+			if exit != nil {
+				for _, r := range exit.Entry(p+Shadow, q+Shadow).rels() {
+					r.Via = Via{} // callee-local provenance
+					e = e.add(r)
+				}
+			}
+			if !valid {
+				e = e.add(Rel{Kind: RelTop})
+			}
+			if e != nil {
+				sum.Rows[[2]string{p, q}] = e
+			}
+		}
+	}
+	return sum, nil
+}
+
+// computeEffects scans the lowered bodies of one strongly connected call
+// component and records the shared effects for every member: pointer stores
+// and frees contribute the base's record type; calls outside the component
+// contribute their callee's (already computed, bottom-up order) effects;
+// calls within the component contribute nothing extra — every write a
+// recursive descent performs happens in some member body and is already in
+// the union. Calls to functions outside the program contribute the full
+// reachable closure of every pointer argument's record type and count as
+// shape-mutating.
+func (tab *SummaryTable) computeEffects(scc []string, info *types.Info) {
+	eff := &FuncEffects{Writes: map[string]bool{}}
+	inSCC := make(map[string]bool, len(scc))
+	for _, name := range scc {
+		inSCC[name] = true
+	}
+	addReach := func(rec string) {
+		if set, ok := tab.reach[rec]; ok {
+			for r := range set {
+				eff.Writes[r] = true
+			}
+		} else if rec != "" {
+			eff.Writes[rec] = true
+		}
+	}
+	for _, name := range scc {
+		fi := info.Funcs[name]
+		if fi == nil {
+			continue
+		}
+		g := norm.Build(fi, info.Env)
+		for _, n := range g.Nodes {
+			if n.Kind != norm.NodeStmt {
+				continue
+			}
+			s := n.Stmt
+			switch s.Op {
+			case norm.StorePtr, norm.Free:
+				eff.ShapeMut = true
+				if rec := g.VarTypes[s.Base].Record; rec != "" {
+					eff.Writes[rec] = true
+				}
+			case norm.Call:
+				if inSCC[s.Callee] {
+					continue
+				}
+				if ce := tab.effects[s.Callee]; ce != nil {
+					if ce.ShapeMut {
+						eff.ShapeMut = true
+					}
+					for r := range ce.Writes {
+						eff.Writes[r] = true
+					}
+				} else if len(s.Args) > 0 {
+					eff.ShapeMut = true
+					for _, a := range s.Args {
+						addReach(g.VarTypes[a].Record)
+					}
+				}
+			}
+		}
+	}
+	for _, name := range scc {
+		tab.effects[name] = eff
+	}
+}

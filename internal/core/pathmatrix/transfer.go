@@ -1,6 +1,8 @@
 package pathmatrix
 
 import (
+	"sort"
+
 	"repro/internal/norm"
 	"repro/internal/shape"
 )
@@ -87,6 +89,12 @@ type transferer struct {
 	env     *shape.Env
 	scratch []pending
 
+	// Interprocedural state (see summary.go): the program's summary table
+	// and the pointer-variable → record-type map of the graph under
+	// analysis (shadow variables included). Both nil for havoc-only runs.
+	summaries *SummaryTable
+	varRecord map[string]string
+
 	// Memo-key caches (see memo.go): the run-invariant key prefix, and the
 	// canonical statement renderings keyed by statement pointer.
 	memoPrefix string
@@ -108,7 +116,7 @@ func (t *transferer) apply(m *Matrix, s *norm.Stmt) {
 	case norm.Free:
 		m.kill(s.Base)
 	case norm.Call:
-		t.call(m, s.Args)
+		t.call(m, s)
 	case norm.ScalarRead, norm.ScalarWrite, norm.ScalarOp:
 		// No pointer effect.
 	}
@@ -820,10 +828,259 @@ func forwardCycleRisk(m *Matrix, src, base string, fld *shape.Field, st *shape.T
 	return false
 }
 
-// call havocs everything reachable from the pointer arguments: the callee
-// may rearrange those structures arbitrarily (but, by convention, leaves
-// them satisfying their declarations on return).
-func (t *transferer) call(m *Matrix, args []string) {
+// call transfers a call statement: a no-op for callees known not to mutate
+// shape, compositionally via the callee's summary when one is available and
+// the call site satisfies its entry assumptions, otherwise by the opaque
+// havoc. Independently of which transfer runs, the call taints the caller's
+// validity (an unrepairable "call" violation) whenever the callee could
+// leave the structure breaking its declaration without that break being
+// visible here — see callBreakRisk.
+func (t *transferer) call(m *Matrix, s *norm.Stmt) {
+	var eff *FuncEffects
+	if t.summaries != nil {
+		eff = t.summaries.Effects(s.Callee)
+	}
+	if eff != nil && !eff.ShapeMut {
+		// The callee (and everything it calls, even recursively) performs
+		// no pointer store or free: data writes cannot change pointer
+		// relations or break the declared abstraction, and by-value
+		// arguments mean caller bindings are untouched. The matrix carries
+		// through the call verbatim.
+		engineStats.summaryApplied.Add(1)
+		return
+	}
+	risky := t.callBreakRisk(m, s, eff)
+	if sum := t.callSummary(m, s); sum != nil {
+		t.applySummary(m, s, sum, eff)
+	} else {
+		if t.summaries != nil {
+			engineStats.summaryFallbacks.Add(1)
+		}
+		t.callHavoc(m, s.Args)
+	}
+	if risky {
+		m.addViolation(Violation{Prop: "call", Base: s.Callee})
+	}
+}
+
+// callBreakRisk reports whether the callee could leave caller-reachable
+// structure violating its declaration in a way neither summary rows nor
+// havoc represent (both only describe relations, not validity). The
+// callee's own store validation ran under the generic entry state, where
+// only explicitly denoted relations trigger violations; its exit-valid
+// verdict therefore transfers to a call site only when the actuals are no
+// more related than that generic state denotes — i.e. pairwise provably
+// unrelated. Everything else is conservative: an unknown or recursive
+// shape-mutating callee was never validated at all, and an exit-invalid
+// one provably breaks even generic entries. Judged on the PRE-call matrix
+// (the havoc relates every argument pair, which would make the test
+// vacuous). The resulting "call" violation is deliberately unrepairable by
+// later stores — the caller cannot know which links the callee broke.
+func (t *transferer) callBreakRisk(m *Matrix, s *norm.Stmt, eff *FuncEffects) bool {
+	if len(s.Args) == 0 {
+		return false // no caller-reachable node escapes into the callee
+	}
+	if eff == nil {
+		return true // havoc-only mode or out-of-program callee: nothing known
+	}
+	// eff.ShapeMut holds here; data-only calls returned before the risk test.
+	sum := t.summaries.Lookup(s.Callee)
+	if sum == nil || sum.ExitInvalid {
+		return true // recursive (never validated) or breaks generic entries
+	}
+	if !m.Valid() {
+		return true // absence of an entry no longer proves unrelatedness
+	}
+	for _, pos := range sum.FormalPos {
+		if pos >= len(s.Bind) {
+			return true // arity mismatch; the checker rejects this upstream
+		}
+	}
+	for i := range sum.Formals {
+		ai := s.Bind[sum.FormalPos[i]]
+		if ai == "" {
+			continue
+		}
+		for j := i + 1; j < len(sum.Formals); j++ {
+			aj := s.Bind[sum.FormalPos[j]]
+			if aj == "" {
+				continue
+			}
+			if ai == aj || m.related(ai, aj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callSummary returns the callee's summary when the call site satisfies the
+// summary's entry assumptions, nil to fall back to havoc:
+//
+//   - the callee must be summarized (non-recursive, in-program);
+//   - the caller matrix must be violation-free — while the abstraction is
+//     broken, an absent entry no longer proves two pointers unrelated, and
+//     both preconditions below read absence as proof;
+//   - actuals bound to formals of DIFFERENT record types must be provably
+//     unrelated, because the generic entry state the summary was computed
+//     from relates only same-record formals (initParams).
+func (t *transferer) callSummary(m *Matrix, s *norm.Stmt) *FuncSummary {
+	sum := t.summaries.Lookup(s.Callee)
+	if sum == nil || !m.Valid() {
+		return nil
+	}
+	for _, pos := range sum.FormalPos {
+		if pos >= len(s.Bind) {
+			return nil // arity mismatch; the checker rejects this upstream
+		}
+	}
+	for i := range sum.Formals {
+		ai := s.Bind[sum.FormalPos[i]]
+		if ai == "" {
+			continue
+		}
+		for j := i + 1; j < len(sum.Formals); j++ {
+			if sum.FormalRecord[i] == sum.FormalRecord[j] {
+				continue
+			}
+			aj := s.Bind[sum.FormalPos[j]]
+			if aj != "" && m.related(ai, aj) {
+				return nil
+			}
+		}
+	}
+	return sum
+}
+
+// typeTainted reports whether v's reachable type closure intersects the
+// callee's write set — i.e. whether any path leaving v could route through
+// a node the callee mutated. Unknown variables answer true.
+func (t *transferer) typeTainted(v string, eff *FuncEffects) bool {
+	rec, ok := t.varRecord[v]
+	if !ok {
+		return true
+	}
+	return t.summaries.reachIntersects(rec, eff.Writes)
+}
+
+// applySummary instantiates the callee's summary at the call site.
+//
+// Caller variable bindings are untouched by the call (by-value arguments,
+// no globals, no pointer returns), so alias relations between caller
+// variables are exactly preserved everywhere. Paths can change only by
+// routing through a mutated node, and every node on a path from v has a
+// type reachable from v's record type, so a pair both of whose sides are
+// type-untainted is preserved verbatim. For pairs with a tainted side:
+//
+//   - pairs of actuals are REPLACED (both directions) by the callee's exit
+//     rows between the corresponding entry-value shadows, alias relations
+//     taken from the caller's own entries, which are exact;
+//   - every other pair inside the affected set (arguments plus their
+//     related variables, the same set the havoc touches) degrades to the
+//     unknown relation, alias knowledge preserved — exactly the havoc's
+//     per-pair effect.
+//
+// Pairs are always updated symmetrically: the load rules assume Alias/Top
+// mirroring across directed cells. Pairs with an unaffected side need no
+// update: an absent relation to every argument proves (violation-free
+// matrix, checked by callSummary) the variable's structure is disjoint from
+// everything the callee could reach.
+func (t *transferer) applySummary(m *Matrix, s *norm.Stmt, sum *FuncSummary, eff *FuncEffects) {
+	engineStats.summaryApplied.Add(1)
+
+	act := make([]string, len(sum.Formals))
+	isActual := map[string]bool{}
+	for i, pos := range sum.FormalPos {
+		act[i] = s.Bind[pos]
+		if act[i] != "" {
+			isActual[act[i]] = true
+		}
+	}
+
+	affected := map[string]bool{}
+	for _, a := range s.Args {
+		affected[a] = true
+		for _, x := range m.relatedVars(a) {
+			affected[x] = true
+		}
+	}
+	vars := make([]string, 0, len(affected))
+	for v := range affected {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	taint := make(map[string]bool, len(vars))
+	for _, v := range vars {
+		taint[v] = t.typeTainted(v, eff)
+	}
+
+	// Non-actual pairs (and actual/non-actual pairs): havoc-equivalent
+	// degrade when either side is tainted.
+	for i, x := range vars {
+		for _, y := range vars[i+1:] {
+			if isActual[x] && isActual[y] {
+				continue
+			}
+			if taint[x] || taint[y] {
+				m.addRel(x, y, Rel{Kind: RelTop})
+			}
+		}
+	}
+
+	// Actual pairs: instantiate the exit rows, both directions at once.
+	for i, ai := range act {
+		for j := i + 1; j < len(act); j++ {
+			aj := act[j]
+			if ai == "" || aj == "" || ai == aj {
+				continue
+			}
+			if !taint[ai] && !taint[aj] {
+				continue
+			}
+			t.instantiateRows(m, ai, aj,
+				sum.Rows[[2]string{sum.Formals[i], sum.Formals[j]}],
+				sum.Rows[[2]string{sum.Formals[j], sum.Formals[i]}])
+		}
+	}
+}
+
+// instantiateRows replaces the (ai, aj) and (aj, ai) entries with the
+// callee's exit rows, keeping the caller's own alias relations (exact under
+// value semantics) and dropping the rows' (weaker, generic-entry-derived)
+// alias facts and callee-local Via provenance. If either rebuilt entry
+// saturates to Top, the other gains Top too, preserving the mirroring
+// invariant the load rules rely on.
+func (t *transferer) instantiateRows(m *Matrix, ai, aj string, rowIJ, rowJI Entry) {
+	build := func(old, row Entry) Entry {
+		ne := Entry{}
+		for _, r := range old.rels() {
+			if r.Kind == RelAlias {
+				ne = ne.add(r)
+			}
+		}
+		for _, r := range row.rels() {
+			if r.Kind != RelAlias {
+				ne = ne.add(r)
+			}
+		}
+		return ne
+	}
+	a := build(m.Entry(ai, aj), rowIJ)
+	b := build(m.Entry(aj, ai), rowJI)
+	if _, topA := a["??"]; topA {
+		b = b.add(Rel{Kind: RelTop})
+	} else if _, topB := b["??"]; topB {
+		a = a.add(Rel{Kind: RelTop})
+	}
+	m.set(ai, aj, a)
+	m.set(aj, ai, b)
+}
+
+// callHavoc havocs everything reachable from the pointer arguments: the
+// callee may rearrange those structures arbitrarily. Havoc alone says
+// nothing about whether the declaration still holds on return — that half
+// of the call's effect is callBreakRisk's violation in call().
+func (t *transferer) callHavoc(m *Matrix, args []string) {
 	affected := map[string]bool{}
 	for _, a := range args {
 		affected[a] = true

@@ -12,7 +12,14 @@ import "sync/atomic"
 // functions, optional liveness-based row dropping). Output is byte-identical
 // to gpm-2 with default settings, but cache keys now embed engine tunables
 // and the bump keeps pre-dedup daemon caches from being replayed.
-const EngineVersion = "gpm-3"
+//
+// gpm-4: compositional interprocedural analysis. Calls to summarized callees
+// apply a per-function entry-shape → exit-effect summary instead of the
+// all-args havoc (summary.go), the call transfer binds every pointer-valued
+// argument (field-path arguments previously escaped the havoc), and call
+// statements carry their callee name. Output changes for multi-function
+// programs, so pre-summary caches must not be replayed.
+const EngineVersion = "gpm-4"
 
 // Stats is a snapshot of engine-wide counters since process start. The
 // counters are monotone and cheap (one atomic add per event) unless noted;
@@ -29,6 +36,12 @@ type Stats struct {
 	SharedRows    uint64 // join cells shared pointer-equal with a parent
 	DedupRows     uint64 // fingerprinted rows structurally seen before in-run
 	DroppedRows   uint64 // dead-variable rows dropped by the liveness pass
+
+	SummaryComputed  uint64 // function summaries computed (cache misses)
+	SummaryReused    uint64 // function summaries served from the cache
+	SummaryEntries   uint64 // cached function summaries right now (gauge)
+	SummaryApplied   uint64 // call sites transferred via a summary
+	SummaryFallbacks uint64 // call sites that fell back to havoc (recursion, preconditions)
 }
 
 var engineStats struct {
@@ -41,6 +54,11 @@ var engineStats struct {
 	sharedRows  atomic.Uint64
 	dedupRows   atomic.Uint64
 	droppedRows atomic.Uint64
+
+	summaryComputed  atomic.Uint64
+	summaryReused    atomic.Uint64
+	summaryApplied   atomic.Uint64
+	summaryFallbacks atomic.Uint64
 }
 
 // ReadStats returns the engine counters. InternedPaths and MemoEntries are
@@ -59,5 +77,11 @@ func ReadStats() Stats {
 		SharedRows:    engineStats.sharedRows.Load(),
 		DedupRows:     engineStats.dedupRows.Load(),
 		DroppedRows:   engineStats.droppedRows.Load(),
+
+		SummaryComputed:  engineStats.summaryComputed.Load(),
+		SummaryReused:    engineStats.summaryReused.Load(),
+		SummaryEntries:   uint64(summaryCacheLen()),
+		SummaryApplied:   engineStats.summaryApplied.Load(),
+		SummaryFallbacks: engineStats.summaryFallbacks.Load(),
 	}
 }

@@ -287,9 +287,19 @@ func checkSoundness(p *gen.Program, cfg Config) string {
 		return "" // entry shrunk away: nothing to check
 	}
 	g := norm.Build(fi, info.Env)
+	// The path-matrix oracles take interprocedural summary tables when the
+	// engine-wide knob is on, so the differential run exercises the summary
+	// call transfer against the interpreter's ground truth. The classic
+	// oracle's table is computed under the stripped environment it analyzes
+	// with (summary rows are environment-dependent).
+	var gpmTab, classicTab *pathmatrix.SummaryTable
+	if pathmatrix.Summarize {
+		gpmTab = pathmatrix.ComputeSummaries(info, info.Env)
+		classicTab = pathmatrix.ComputeSummaries(info, info.Env.Stripped())
+	}
 	oracles := []alias.Oracle{
-		alias.NewGPM(g, info.Env),
-		alias.NewClassic(g, info.Env),
+		alias.NewGPMWith(g, info.Env, gpmTab),
+		alias.NewClassicWith(g, info.Env, classicTab),
 		alias.NewConservative(g),
 		klimit.Analyze(g, info.Env, 2),
 	}

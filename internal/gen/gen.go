@@ -37,6 +37,13 @@ type Profile struct {
 	// structure (and allocate unlinked nodes), so the final heap must still
 	// satisfy every declaration — the lint check exploits that.
 	Mutate bool
+	// Calls renders a family of helper callees before the fuzzed function —
+	// a data-only writer, an aliasing link mutator, and a recursive walker —
+	// and mixes calls to them (variable-only pointer arguments) into the
+	// fuzzed body. This is the interprocedural profile: it exercises the
+	// summary instantiation path, the write-set taint, and the recursive
+	// fallback against the interpreter and the havoc-only oracles.
+	Calls bool
 }
 
 // Profiles returns the built-in profiles, in a stable order.
@@ -48,6 +55,7 @@ func Profiles() []Profile {
 		{Name: "lols", Structure: "LOLS", MinStmts: 6, MaxStmts: 16, Mutate: true},
 		{Name: "readonly", Structure: "", MinStmts: 6, MaxStmts: 16, Mutate: false},
 		{Name: "mixed", Structure: "", MinStmts: 6, MaxStmts: 16, Mutate: true},
+		{Name: "calls", Structure: "", MinStmts: 6, MaxStmts: 16, Mutate: true, Calls: true},
 	}
 }
 
@@ -115,6 +123,13 @@ func Generate(seed int64, pr Profile) *Program {
 		p.Stmts = append(p.Stmts, simple(fmt.Sprintf("%s = a;", v)))
 	}
 	for i := 0; i < n; i++ {
+		// Call statements are drawn here rather than inside the per-structure
+		// grammars so profiles without Calls consume the rng identically to
+		// before the profile existed (their programs stay byte-stable).
+		if pr.Calls && rng.Intn(4) == 0 {
+			p.Stmts = append(p.Stmts, callStmt(rng))
+			continue
+		}
 		p.Stmts = append(p.Stmts, spec.emit(rng, pr))
 	}
 	return p
@@ -163,6 +178,13 @@ func (p *Program) Source() []byte {
 	var b strings.Builder
 	b.WriteString(p.shape.decl)
 	b.WriteString(p.shape.builder)
+	if p.Profile.Calls {
+		// Callees precede the fuzzed function: definitions come before uses,
+		// matching the builder functions. They render whether or not the
+		// shrinker kept any call — an uncalled helper is just one more
+		// analyzed function.
+		b.WriteString(p.shape.helpers())
+	}
 	fmt.Fprintf(&b, "void fuzzed(%s *a) {\n", p.TypeName)
 	fmt.Fprintf(&b, "    %s *b, *c, *d;\n", p.TypeName)
 	b.WriteString("    int i;\n")

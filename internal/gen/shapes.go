@@ -3,6 +3,7 @@ package gen
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 )
 
 // structureSpec bundles everything structure-specific: the ADDS declaration
@@ -17,6 +18,45 @@ type structureSpec struct {
 	// emit produces one random top-level statement. It must only emit
 	// pointer-field stores (shape mutations) when the profile allows them.
 	emit func(rng *rand.Rand, pr Profile) Stmt
+	// callFwd/callBack are the link fields the call-profile helpers mutate
+	// and traverse: a forward field and, where the structure has one, its
+	// backward companion (empty for CirL).
+	callFwd, callBack string
+}
+
+// helpers renders the call-profile callee family for the structure:
+//
+//   - hbump: data-only writer — its summary taints no pointer relations, so
+//     summarized analysis stays strictly more precise than the havoc.
+//   - hlink: aliasing link mutator — stores one argument's address into the
+//     other's forward field (and back-link when the structure has one),
+//     exercising cross-argument summary instantiation.
+//   - hrec: self-recursive walker — the engine refuses to summarize it, so
+//     every call site takes the havoc fallback path.
+func (s *structureSpec) helpers() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "void hbump(%s *p) {\n    if (p != NULL) {\n        p->data = p->data + 1;\n    }\n}\n", s.typeName)
+	fmt.Fprintf(&b, "void hlink(%s *p, %s *q) {\n    if (p != NULL && q != NULL) {\n        p->%s = q;\n", s.typeName, s.typeName, s.callFwd)
+	if s.callBack != "" {
+		fmt.Fprintf(&b, "        q->%s = p;\n", s.callBack)
+	}
+	b.WriteString("    }\n}\n")
+	fmt.Fprintf(&b, "void hrec(%s *p, int d) {\n    if (p != NULL && d > 0) {\n        p->data = d;\n        hrec(p->%s, d - 1);\n    }\n}\n", s.typeName, s.callFwd)
+	return b.String()
+}
+
+// callStmt emits one call to a helper with variable-only pointer arguments.
+// hlink is weighted up: two-argument calls are where summary instantiation
+// can go wrong.
+func callStmt(rng *rand.Rand) Stmt {
+	switch rng.Intn(4) {
+	case 0:
+		return simple(fmt.Sprintf("hbump(%s);", pickVar(rng)))
+	case 1, 2:
+		return simple(fmt.Sprintf("hlink(%s, %s);", pickVar(rng), pickVar(rng)))
+	default:
+		return simple(fmt.Sprintf("hrec(%s, %d);", pickVar(rng), rng.Intn(4)+1))
+	}
 }
 
 var vars = []string{"a", "b", "c", "d"}
@@ -435,10 +475,10 @@ func emitLols(rng *rand.Rand, pr Profile) Stmt {
 // ---------------------------------------------------------------------------
 
 var specs = map[string]*structureSpec{
-	"TwoWayLL": {typeName: "TwoWayLL", decl: twoWayDecl, builder: twoWayBuilder, mainSrc: twoWayMain, emit: emitList},
-	"PBinTree": {typeName: "PBinTree", decl: treeDecl, builder: treeBuilder, mainSrc: treeMain, emit: emitTree},
-	"CirL":     {typeName: "CirL", decl: cirDecl, builder: cirBuilder, mainSrc: cirMain, emit: emitCir},
-	"LOLS":     {typeName: "LOLS", decl: lolsDecl, builder: lolsBuilder, mainSrc: lolsMain, emit: emitLols},
+	"TwoWayLL": {typeName: "TwoWayLL", decl: twoWayDecl, builder: twoWayBuilder, mainSrc: twoWayMain, emit: emitList, callFwd: "next", callBack: "prev"},
+	"PBinTree": {typeName: "PBinTree", decl: treeDecl, builder: treeBuilder, mainSrc: treeMain, emit: emitTree, callFwd: "left", callBack: "parent"},
+	"CirL":     {typeName: "CirL", decl: cirDecl, builder: cirBuilder, mainSrc: cirMain, emit: emitCir, callFwd: "next"},
+	"LOLS":     {typeName: "LOLS", decl: lolsDecl, builder: lolsBuilder, mainSrc: lolsMain, emit: emitLols, callFwd: "down", callBack: "up"},
 }
 
 func specFor(name string) *structureSpec {

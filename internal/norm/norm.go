@@ -76,7 +76,9 @@ type Stmt struct {
 	Base     string // Deref uses Src; StorePtr/Scalar*/Free use Base
 	Field    string
 	TypeName string    // AssignNew: allocated type; others: record type of Base/Src
-	Args     []string  // Call: pointer arguments (escaping roots)
+	Args     []string  // Call: pointer arguments (escaping roots), deduplicated
+	Callee   string    // Call: callee name
+	Bind     []string  // Call: variable bound to each callee argument position ("" = NULL or scalar)
 	Pos      token.Pos // original source position
 }
 
@@ -106,7 +108,7 @@ func (s *Stmt) String() string {
 	case Free:
 		return fmt.Sprintf("free(%s)", s.Base)
 	case Call:
-		return fmt.Sprintf("call(%s)", strings.Join(s.Args, ", "))
+		return fmt.Sprintf("call %s(%s)", s.Callee, strings.Join(s.Args, ", "))
 	}
 	return "?"
 }
@@ -564,19 +566,38 @@ func (b *builder) call(call *ast.CallExpr, cur *Node) *Node {
 	return b.callExpr(call, cur)
 }
 
+// callExpr lowers a call. Every pointer-valued argument is reduced to a
+// variable (field paths via a Deref temp, allocations via AssignNew) and
+// recorded positionally in Bind so the call transfer knows exactly which
+// caller value reaches which callee formal; Args is the deduplicated set of
+// those variables — the escaping roots the opaque-call havoc operates on.
 func (b *builder) callExpr(call *ast.CallExpr, cur *Node) *Node {
+	bind := make([]string, len(call.Args))
 	var ptrArgs []string
-	for _, a := range call.Args {
-		if p, ok := a.(*ast.Path); ok && p.IsVar() && b.varType(p.Var).Kind == types.KindPointer {
-			ptrArgs = append(ptrArgs, p.Var)
+	seen := map[string]bool{}
+	for i, a := range call.Args {
+		isPtr := false
+		switch arg := a.(type) {
+		case *ast.NullLit:
+			continue // binds as "": nothing escapes
+		case *ast.NewExpr:
+			isPtr = true
+		case *ast.Path:
+			isPtr = b.pathType(arg, len(arg.Fields)).Kind == types.KindPointer
+		}
+		if !isPtr {
+			cur = b.scalarReads(a, cur)
 			continue
 		}
-		if _, ok := a.(*ast.NullLit); ok {
-			continue
+		v, cur2 := b.evalPointer(a, cur)
+		cur = cur2
+		bind[i] = v
+		if v != "" && !seen[v] {
+			seen[v] = true
+			ptrArgs = append(ptrArgs, v)
 		}
-		cur = b.scalarReads(a, cur)
 	}
-	return b.emit(cur, &Stmt{Op: Call, Args: ptrArgs, Pos: call.NamePos})
+	return b.emit(cur, &Stmt{Op: Call, Callee: call.Name, Args: ptrArgs, Bind: bind, Pos: call.NamePos})
 }
 
 // String renders the CFG for debugging.

@@ -320,4 +320,15 @@ func (m *Metrics) WriteProm(w io.Writer, cacheLen, poolInUse, poolCap, queued, q
 	fmt.Fprintf(w, "addsd_engine_dedup_rows_total %d\n", es.DedupRows)
 	fmt.Fprintf(w, "# TYPE addsd_engine_dropped_rows_total counter\n")
 	fmt.Fprintf(w, "addsd_engine_dropped_rows_total %d\n", es.DroppedRows)
+	fmt.Fprintf(w, "# HELP addsd_engine_summary_computed_total Function summaries computed (content-addressed cache misses).\n")
+	fmt.Fprintf(w, "# TYPE addsd_engine_summary_computed_total counter\n")
+	fmt.Fprintf(w, "addsd_engine_summary_computed_total %d\n", es.SummaryComputed)
+	fmt.Fprintf(w, "# TYPE addsd_engine_summary_reused_total counter\n")
+	fmt.Fprintf(w, "addsd_engine_summary_reused_total %d\n", es.SummaryReused)
+	fmt.Fprintf(w, "# TYPE addsd_engine_summary_entries gauge\n")
+	fmt.Fprintf(w, "addsd_engine_summary_entries %d\n", es.SummaryEntries)
+	fmt.Fprintf(w, "# TYPE addsd_engine_summary_applied_total counter\n")
+	fmt.Fprintf(w, "addsd_engine_summary_applied_total %d\n", es.SummaryApplied)
+	fmt.Fprintf(w, "# TYPE addsd_engine_summary_fallbacks_total counter\n")
+	fmt.Fprintf(w, "addsd_engine_summary_fallbacks_total %d\n", es.SummaryFallbacks)
 }

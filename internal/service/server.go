@@ -113,6 +113,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/depgraph", s.handleDepgraph)
 	s.mux.HandleFunc("POST /v1/pipeline", s.handlePipeline)
+	s.mux.HandleFunc("POST /v1/reanalyze", s.handleReanalyze)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("POST /analyze", legacy(s.handleAnalyze))
@@ -181,7 +182,7 @@ func (s *Server) observeSpan(rec obs.SpanRecord) {
 // anyone cares about.
 func traced(label string) bool {
 	switch label {
-	case "analyze", "depgraph", "pipeline", "experiments":
+	case "analyze", "depgraph", "pipeline", "reanalyze", "experiments":
 		return true
 	}
 	return false
@@ -377,6 +378,8 @@ func endpointLabel(path string) string {
 		return "depgraph"
 	case p == "/pipeline":
 		return "pipeline"
+	case p == "/reanalyze":
+		return "reanalyze"
 	case p == "/experiments" || strings.HasPrefix(p, "/experiments/"):
 		return "experiments"
 	case path == "/healthz":
@@ -556,6 +559,47 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 	s.serveCached(w, r, "pipeline", &req, func(ctx context.Context) (any, error) {
 		return BuildPipeline(ctx, &req)
 	})
+}
+
+// handleReanalyze runs whole-program analysis uncached: the response's
+// summary counters are per-run facts (how much the content-addressed summary
+// cache absorbed THIS time), so serving a cached body would be wrong by
+// construction. It still runs on a pool slot under the request timeout, with
+// the same queue span and shed accounting as the cached endpoints.
+func (s *Server) handleReanalyze(w http.ResponseWriter, r *http.Request) {
+	var req ReanalyzeRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx := r.Context()
+	rs := reqStatsFrom(ctx)
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	qstart := time.Now()
+	_, qspan := obs.Start(ctx, "queue")
+	if err := s.pool.acquire(ctx); err != nil {
+		qspan.SetAttr("shed", true)
+		qspan.End()
+		if errors.Is(err, ErrOverloaded) {
+			s.metrics.ObserveShed("reanalyze")
+			rs.setShed()
+		}
+		writeError(w, err)
+		return
+	}
+	qspan.End()
+	rs.setQueueWait(time.Since(qstart))
+	defer s.pool.release()
+	resp, err := BuildReanalyze(ctx, &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {

@@ -13,6 +13,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/adds/wire"
+	"repro/internal/core/pathmatrix"
 	"repro/internal/obs"
 )
 
@@ -452,4 +454,89 @@ func newHTTPServer(t *testing.T, s *Server) string {
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return ts.URL
+}
+
+// TestReanalyzeIncremental drives the incremental contract end to end over
+// HTTP: the first POST /v1/reanalyze computes every function's summary; a
+// second POST with exactly one (caller-free) function edited recomputes only
+// that one and reuses the rest; and /metrics exposes the engine's summary
+// counters for scrapers.
+func TestReanalyzeIncremental(t *testing.T) {
+	const llType = `
+type TwoWayLL [X] {
+    int data;
+    TwoWayLL *next is uniquely forward along X;
+    TwoWayLL *prev is backward along X;
+};`
+	base := llType + `
+void drain(TwoWayLL *h) {
+    while (h != NULL) {
+        h->data = 0;
+        h = h->next;
+    }
+}
+void detach(TwoWayLL *h) {
+    if (h != NULL) {
+        h->next = NULL;
+    }
+}`
+	edited := llType + `
+void drain(TwoWayLL *h) {
+    while (h != NULL) {
+        h->data = 0;
+        h = h->next;
+    }
+}
+void detach(TwoWayLL *h) {
+    if (h != NULL) {
+        h->prev = NULL;
+    }
+}`
+	pathmatrix.ResetSummaryCache()
+	_, ts := newTestServer(t, Config{})
+
+	post := func(src string) wire.ReanalyzeResponse {
+		t.Helper()
+		resp, data := postJSON(t, ts.URL+"/v1/reanalyze", ReanalyzeRequest{Source: src})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, body %s", resp.StatusCode, data)
+		}
+		var out wire.ReanalyzeResponse
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("bad response JSON: %v\n%s", err, data)
+		}
+		return out
+	}
+
+	cold := post(base)
+	if len(cold.Functions) != 2 {
+		t.Fatalf("functions = %v, want drain and detach", cold.Functions)
+	}
+	if cold.Summaries.Computed != 2 || cold.Summaries.Reused != 0 {
+		t.Fatalf("cold run: computed=%d reused=%d, want 2/0", cold.Summaries.Computed, cold.Summaries.Reused)
+	}
+
+	warm := post(edited)
+	if warm.Summaries.Computed != 1 || warm.Summaries.Reused != 1 {
+		t.Fatalf("edited run: computed=%d reused=%d, want 1/1", warm.Summaries.Computed, warm.Summaries.Reused)
+	}
+
+	resp, body := do(t, "GET", ts.URL+"/metrics", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	for _, metric := range []string{
+		"addsd_engine_summary_computed_total",
+		"addsd_engine_summary_reused_total",
+		"addsd_engine_summary_entries",
+		"addsd_engine_summary_applied_total",
+		"addsd_engine_summary_fallbacks_total",
+	} {
+		if !strings.Contains(string(body), metric) {
+			t.Errorf("/metrics missing %s", metric)
+		}
+	}
+	if !strings.Contains(string(body), `addsd_requests_total{endpoint="reanalyze",code="200"} 2`) {
+		t.Errorf("/metrics missing reanalyze request counter:\n%s", body)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/adds"
+	"repro/adds/wire"
 	"repro/internal/core/pathmatrix"
 )
 
@@ -31,115 +32,26 @@ func (e *UnknownFieldError) Error() string {
 // request-shape failures.
 func (e *UnknownFieldError) Unwrap() error { return ErrBadRequest }
 
-// AnalyzeRequest asks for path matrix analysis of one function (Fn set) or
-// every function of the source. The zero values select the defaults the
-// CLIs use: the GPM oracle, one worker per CPU.
-type AnalyzeRequest struct {
-	Source  string `json:"source"`
-	Fn      string `json:"fn,omitempty"`
-	Oracle  string `json:"oracle,omitempty"` // gpm (default), classic, conservative, klimit
-	K       int    `json:"k,omitempty"`      // k for the klimit oracle
-	Workers int    `json:"workers,omitempty"`
-}
-
-// LoopResult is the per-loop slice of an analysis: the fixed-point matrix,
-// the primed iteration matrix, and the dependence graph under the selected
-// oracle.
-type LoopResult struct {
-	Index           int            `json:"index"`
-	Matrix          *adds.Matrix   `json:"matrix"`
-	Iteration       *adds.Matrix   `json:"iteration"`
-	Dependences     *adds.DepGraph `json:"dependences"`
-	CarriedMemEdges int            `json:"carriedMemEdges"`
-}
-
-// OracleComparison reports, per loop, how many carried memory dependences
-// each oracle leaves — the paper's headline comparison.
-type OracleComparison struct {
-	Oracle          string `json:"oracle"`
-	Loop            int    `json:"loop"`
-	CarriedMemEdges int    `json:"carriedMemEdges"`
-}
-
-// ValidationResult summarizes the Section 5.1.1 abstraction validation.
-type ValidationResult struct {
-	ValidEverywhere bool     `json:"validEverywhere"`
-	Intervals       []string `json:"intervals"`
-}
-
-// FunctionResult is one function's analysis artifacts.
-type FunctionResult struct {
-	Name       string             `json:"name"`
-	Loops      int                `json:"loops"`
-	Entry      *adds.Matrix       `json:"entryMatrix"`
-	Exit       *adds.Matrix       `json:"exitMatrix"`
-	LoopData   []LoopResult       `json:"loopResults"`
-	Validation ValidationResult   `json:"validation"`
-	Oracles    []OracleComparison `json:"oracleComparison"`
-}
-
-// AnalyzeResponse is the full analysis answer, stamped with the engine
-// version that produced it.
-type AnalyzeResponse struct {
-	EngineVersion string           `json:"engineVersion"`
-	Functions     []FunctionResult `json:"functions"`
-}
-
-// DepgraphRequest asks for the dependence graphs of one function's loops
-// under an oracle — the standalone form of the per-loop graphs embedded in
-// an AnalyzeResponse, for callers that want dependences without matrices.
-type DepgraphRequest struct {
-	Source string `json:"source"`
-	Fn     string `json:"fn"`
-	Loop   *int   `json:"loop,omitempty"` // nil = every loop
-	Oracle string `json:"oracle,omitempty"`
-	K      int    `json:"k,omitempty"`
-}
-
-// LoopDeps is one loop's dependence graph in a DepgraphResponse.
-type LoopDeps struct {
-	Index           int            `json:"index"`
-	Dependences     *adds.DepGraph `json:"dependences"`
-	CarriedMemEdges int            `json:"carriedMemEdges"`
-}
-
-// DepgraphResponse carries the requested loops' dependence graphs.
-type DepgraphResponse struct {
-	EngineVersion string     `json:"engineVersion"`
-	Fn            string     `json:"fn"`
-	Oracle        string     `json:"oracle"`
-	Loops         []LoopDeps `json:"loops"`
-}
-
-// PipelineRequest asks for initiation-interval bounds and the pipelined
-// VLIW schedule of one loop.
-type PipelineRequest struct {
-	Source string `json:"source"`
-	Fn     string `json:"fn"`
-	Loop   int    `json:"loop"`
-	Width  int    `json:"width,omitempty"` // default 8
-	Oracle string `json:"oracle,omitempty"`
-	K      int    `json:"k,omitempty"`
-}
-
-// PipelineResponse carries the II bounds and, when the loop pipelines, the
-// bundled VLIW code. A legal-but-unpipelinable loop is not an HTTP error:
-// PipelineError says why and VLIW stays empty.
-type PipelineResponse struct {
-	EngineVersion string            `json:"engineVersion"`
-	Fn            string            `json:"fn"`
-	Loop          int               `json:"loop"`
-	Width         int               `json:"width"`
-	Info          adds.PipelineInfo `json:"info"`
-	VLIW          string            `json:"vliw,omitempty"`
-	PipelineError string            `json:"pipelineError,omitempty"`
-}
-
-// ExperimentDef is one registry row of GET /v1/experiments.
-type ExperimentDef struct {
-	ID    string `json:"id"`
-	Title string `json:"title"`
-}
+// The request/response shapes live in the public adds/wire package so
+// clients can share them; the aliases keep every existing reference in this
+// package (and the encoded bytes, pinned by the goldens) unchanged.
+type (
+	AnalyzeRequest    = wire.AnalyzeRequest
+	LoopResult        = wire.LoopResult
+	OracleComparison  = wire.OracleComparison
+	ValidationResult  = wire.ValidationResult
+	FunctionResult    = wire.FunctionResult
+	AnalyzeResponse   = wire.AnalyzeResponse
+	DepgraphRequest   = wire.DepgraphRequest
+	LoopDeps          = wire.LoopDeps
+	DepgraphResponse  = wire.DepgraphResponse
+	PipelineRequest   = wire.PipelineRequest
+	PipelineResponse  = wire.PipelineResponse
+	ExperimentDef     = wire.ExperimentDef
+	ReanalyzeRequest  = wire.ReanalyzeRequest
+	SummaryStats      = wire.SummaryStats
+	ReanalyzeResponse = wire.ReanalyzeResponse
+)
 
 // oracleFor resolves the request's oracle selection against an analysis.
 func oracleFor(an *adds.Analysis, name string, k int) (adds.Oracle, error) {
@@ -234,6 +146,34 @@ func BuildAnalyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResponse, e
 			}
 		}
 		resp.Functions = append(resp.Functions, fr)
+	}
+	return resp, nil
+}
+
+// BuildReanalyze re-runs whole-program analysis for a ReanalyzeRequest and
+// reports this run's interprocedural summary-cache behavior. It backs POST
+// /v1/reanalyze and deliberately bypasses the daemon's response cache: the
+// computed/reused counters describe the run that produced them (a cached
+// first-run response would keep reporting cold-cache numbers forever).
+func BuildReanalyze(ctx context.Context, req *ReanalyzeRequest) (*ReanalyzeResponse, error) {
+	unit, err := adds.LoadCtx(ctx, []byte(req.Source))
+	if err != nil {
+		return nil, err
+	}
+	analyses, err := unit.AnalyzeAllOpt(ctx, adds.WithWorkers(req.Workers))
+	if err != nil {
+		return nil, err
+	}
+	resp := &ReanalyzeResponse{EngineVersion: pathmatrix.EngineVersion, Functions: []string{}}
+	for _, fd := range unit.Prog.Funcs {
+		resp.Functions = append(resp.Functions, fd.Name)
+	}
+	// All analyses of one run share the same table; any entry reports it.
+	for _, an := range analyses {
+		if tab := an.SummaryTable(); tab != nil {
+			resp.Summaries = SummaryStats{Computed: tab.Computed, Reused: tab.Reused}
+			break
+		}
 	}
 	return resp, nil
 }

@@ -60,6 +60,15 @@ func printTypeDecl(b *strings.Builder, t *TypeDecl) {
 	b.WriteString("};\n")
 }
 
+// FuncString renders one function declaration to mini source. The output is
+// canonical for a given tree (modulo positions), which the engine's
+// content-addressed summary cache keys on.
+func FuncString(f *FuncDecl) string {
+	var b strings.Builder
+	printFuncDecl(&b, f)
+	return b.String()
+}
+
 func printFuncDecl(b *strings.Builder, f *FuncDecl) {
 	ret := "void"
 	if f.RetInt {
