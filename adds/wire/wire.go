@@ -6,7 +6,11 @@
 // pinned by the goldens under adds/testdata/golden.
 package wire
 
-import "repro/adds"
+import (
+	"encoding/json"
+
+	"repro/adds"
+)
 
 // AnalyzeRequest asks for path matrix analysis of one function (Fn set) or
 // every function of the source. The zero values select the defaults the
@@ -116,6 +120,35 @@ type PipelineResponse struct {
 type ExperimentDef struct {
 	ID    string `json:"id"`
 	Title string `json:"title"`
+}
+
+// ErrorEnvelope is the JSON error body every endpoint shares: a message
+// plus optional locators (the offending JSON field for 400s, the source
+// position for 422s). /v1/batch embeds it per item.
+type ErrorEnvelope struct {
+	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
+	Line  int    `json:"line,omitempty"`
+	Col   int    `json:"col,omitempty"`
+}
+
+// BatchRequest asks POST /v1/batch to analyze many programs in one request.
+// Each item is a full AnalyzeRequest; results stream back as NDJSON, one
+// BatchItemResult line per item, in item order, flushed as each completes.
+type BatchRequest struct {
+	Items []AnalyzeRequest `json:"items"`
+}
+
+// BatchItemResult is one NDJSON line of a /v1/batch response. Status is the
+// HTTP status the item would have received as a standalone request; exactly
+// one of Response and Error is set. The line carries no cache/shard
+// telemetry on purpose: for a fixed item list the bytes are deterministic
+// regardless of which shard answered or how warm its cache was.
+type BatchItemResult struct {
+	Index    int             `json:"index"`
+	Status   int             `json:"status"`
+	Response json.RawMessage `json:"response,omitempty"`
+	Error    *ErrorEnvelope  `json:"error,omitempty"`
 }
 
 // ReanalyzeRequest asks POST /v1/reanalyze to re-run whole-program analysis

@@ -16,6 +16,15 @@
 // admission queue sheds excess requests with 429 + Retry-After instead of
 // stacking goroutines.
 //
+// Cluster mode: give every process the same -peers list and each request's
+// content-addressed key picks exactly one owning shard on a consistent-hash
+// ring. Non-owners peek the owner's cache (GET /v1/cache/{key}), forward
+// misses to the owner, and fall back to local analysis if the owner is
+// unreachable — so a 3-process cluster answers byte-identically to one
+// process while each key is computed and cached on one shard:
+//
+//	addsd -addr :7201 -peers 127.0.0.1:7201,127.0.0.1:7202,127.0.0.1:7203
+//
 // Observability: GET /metrics (Prometheus text format, including per-phase
 // duration histograms), GET /healthz, GET /debug/trace/{id} (recent traces;
 // send a W3C traceparent header to pick the trace id), one structured
@@ -33,10 +42,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"slices"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -60,6 +72,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-analysis budget (bounds the shared flight, not one client's wait)")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
 	traceRing := fs.Int("trace-ring", obs.DefaultRingSize, "finished traces kept for /debug/trace/{id}")
+	peers := fs.String("peers", "", "comma-separated addresses of every cluster member (including this one); empty = single process")
+	self := fs.String("self", "", "this process's address as it appears in -peers (default: -addr)")
+	peerTimeout := fs.Duration("peer-timeout", cluster.DefaultPeerTimeout, "per-attempt budget for peer cache peeks and forwards")
+	maxBody := fs.Int64("max-body", service.DefaultMaxBodyBytes, "largest accepted request body in bytes (oversized = 413)")
+	maxBatch := fs.Int("max-batch", service.DefaultMaxBatchItems, "most items accepted in one /v1/batch request")
 	lf := cli.RegisterLogFlags(fs, "json")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -75,6 +92,26 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return cli.ExitCode(err)
 	}
 
+	// Cluster membership is static configuration: every member gets the same
+	// -peers list and names itself with -self (defaulting to its listen
+	// address), so all members derive the same ring with no coordination.
+	// Misuse is a flag error, not a degraded server.
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if *self == "" {
+			*self = *addr
+		}
+		if !slices.Contains(peerList, *self) {
+			fmt.Fprintf(stderr, "addsd: -self %q is not in -peers %q\n", *self, *peers)
+			return 2
+		}
+	}
+
 	svc := service.New(service.Config{
 		CacheEntries:   *cacheEntries,
 		Workers:        workers,
@@ -82,6 +119,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		RequestTimeout: *timeout,
 		Logger:         logger,
 		TraceRing:      *traceRing,
+		Peers:          peerList,
+		Self:           *self,
+		PeerTimeout:    *peerTimeout,
+		MaxBodyBytes:   *maxBody,
+		MaxBatchItems:  *maxBatch,
 	})
 
 	// Install the signal handler before announcing readiness so a SIGTERM

@@ -146,3 +146,62 @@ func TestDaemonBadAddr(t *testing.T) {
 		t.Fatalf("exit = %d, want 1; output %s", code, out.String())
 	}
 }
+
+// TestDaemonClusterFlags: -peers wires the ring into the service — visible
+// on the metrics scrape and in /readyz — with -self defaulting to -addr.
+func TestDaemonClusterFlags(t *testing.T) {
+	// The ephemeral port is unknown before bind, so name this process with
+	// an explicit -self that appears in -peers; the sibling address does not
+	// need to be reachable for readiness, only configured.
+	base, shutdown := startDaemon(t,
+		"-peers", "127.0.0.1:7201,127.0.0.1:7202", "-self", "127.0.0.1:7201",
+		"-max-body", "1024", "-max-batch", "4", "-peer-timeout", "100ms")
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "addsd_cluster_ring_peers 2") {
+		t.Errorf("metrics missing ring gauge:\n%s", body)
+	}
+
+	resp, err = http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(rb), `"peers":2`) {
+		t.Errorf("readyz = %d %s, want 200 with peers:2", resp.StatusCode, rb)
+	}
+
+	// -max-body is live: a body over 1024 bytes is a 413, not a 400.
+	big, _ := json.Marshal(map[string]string{"source": strings.Repeat("x", 2048)})
+	resp, err = http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body = %d, want 413", resp.StatusCode)
+	}
+
+	if code, out := shutdown(); code != 0 {
+		t.Fatalf("exit code %d; output:\n%s", code, out)
+	}
+}
+
+// -self must name a member of -peers; anything else is flag misuse.
+func TestDaemonSelfNotInPeers(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-peers", "127.0.0.1:7201,127.0.0.1:7202", "-self", "127.0.0.1:9999"}, &out, &out, nil)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; output %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "is not in -peers") {
+		t.Errorf("missing diagnostic:\n%s", out.String())
+	}
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/service"
+)
+
+func startService(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(service.New(service.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func runLoad(t *testing.T, args ...string) (int, report, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	var rep report
+	if stdout.Len() > 0 && json.Valid(stdout.Bytes()) {
+		if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+			t.Fatalf("bad json report: %v\n%s", err, stdout.String())
+		}
+	}
+	return code, rep, stdout.String() + stderr.String()
+}
+
+func TestLoadMixedWorkload(t *testing.T) {
+	ts := startService(t)
+	code, rep, out := runLoad(t,
+		"-targets", ts.URL, "-requests", "60", "-seed", "7",
+		"-mix", "hit=6,miss=3,divergent=1", "-hit-pool", "4",
+		"-concurrency", "4", "-format", "json")
+	if code != 0 {
+		t.Fatalf("exit = %d; output:\n%s", code, out)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("failed = %d, want 0:\n%s", rep.Failed, out)
+	}
+	if rep.OK+rep.Divergent+rep.Shed != 60 {
+		t.Errorf("ok %d + divergent %d + shed %d != 60", rep.OK, rep.Divergent, rep.Shed)
+	}
+	if rep.Divergent == 0 {
+		t.Errorf("mix included divergent traffic but none was observed:\n%s", out)
+	}
+	// A 4-program hit pool over 60 requests must produce real cache hits.
+	if rep.Cache["hit"] == 0 {
+		t.Errorf("no cache hits recorded: %v", rep.Cache)
+	}
+	if rep.P50ms <= 0 || rep.P99ms < rep.P50ms || rep.MaxMs < rep.P99ms {
+		t.Errorf("implausible percentiles: p50 %.3f p99 %.3f max %.3f", rep.P50ms, rep.P99ms, rep.MaxMs)
+	}
+}
+
+func TestLoadTextReport(t *testing.T) {
+	ts := startService(t)
+	code, _, out := runLoad(t,
+		"-targets", ts.URL, "-requests", "10", "-seed", "3", "-slo-p99", "30s")
+	if code != 0 {
+		t.Fatalf("exit = %d; output:\n%s", code, out)
+	}
+	for _, want := range []string{"10 requests", "outcomes:", "latency: p50", "slo: p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadSLOViolation(t *testing.T) {
+	ts := startService(t)
+	code, rep, out := runLoad(t,
+		"-targets", ts.URL, "-requests", "8", "-seed", "3",
+		"-slo-p99", "1ns", "-format", "json")
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3 (SLO violation); output:\n%s", code, out)
+	}
+	if !rep.SLOViolated {
+		t.Error("report does not flag the violation")
+	}
+}
+
+// A dead target produces failures, and failures win over SLO in the exit
+// code (a broken cluster must not read as a latency problem).
+func TestLoadDeadTarget(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	code, rep, out := runLoad(t,
+		"-targets", addr, "-requests", "4", "-timeout", "500ms",
+		"-slo-p99", "1ns", "-format", "json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if rep.Failed != 4 {
+		t.Errorf("failed = %d, want 4", rep.Failed)
+	}
+}
+
+func TestLoadBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nonsense"},
+		{"positional"},
+		{"-requests", "0"},
+		{"-mix", "hit=abc"},
+		{"-mix", "hit=0,miss=0,divergent=0"},
+		{"-mix", "unknownkind=3"},
+		{"-format", "xml"},
+		{"-profile", "no-such-profile"},
+		{"-targets", " , "},
+	} {
+		if code, _, _ := runLoad(t, args...); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+}
+
+// The planned workload is a pure function of the seed: bodies, kinds, and
+// target assignment all replay exactly.
+func TestPlanDeterministic(t *testing.T) {
+	pr, err := gen.ProfileByName("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := map[string]int{"hit": 6, "miss": 3, "divergent": 1}
+	bases := []string{"http://a", "http://b", "http://c"}
+	a := plan(42, 50, 8, w, pr, bases)
+	b := plan(42, 50, 8, w, pr, bases)
+	if len(a) != 50 {
+		t.Fatalf("plan produced %d jobs", len(a))
+	}
+	for i := range a {
+		if a[i].kind != b[i].kind || a[i].target != b[i].target || !bytes.Equal(a[i].body, b[i].body) {
+			t.Fatalf("job %d differs between identical plans", i)
+		}
+	}
+	c := plan(43, 50, 8, w, pr, bases)
+	same := 0
+	for i := range a {
+		if bytes.Equal(a[i].body, c[i].body) {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Error("different seeds produced an identical workload")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	sorted := []time.Duration{ms(1), ms(2), ms(3), ms(4), ms(100)}
+	if got := percentile(sorted, 0.50); got != 3 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+	if got := percentile(sorted, 0.99); got != 100 {
+		t.Errorf("p99 = %v, want 100", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}

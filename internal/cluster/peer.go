@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ForwardedHeader marks a request that already made one cluster hop. A
+// shard receiving it always answers locally — whatever its own ring says —
+// so a stale or disagreeing peer list can never bounce a request around the
+// cluster.
+const ForwardedHeader = "X-Adds-Forwarded"
+
+// DefaultPeerTimeout bounds one peer attempt. Peers are LAN/localhost
+// neighbors serving cache lookups and small analyses; anything slower than
+// this is better served by computing locally.
+const DefaultPeerTimeout = 2 * time.Second
+
+// maxPeerBody bounds how much of a peer response the client will buffer.
+// Responses are the daemon's own JSON bodies, which its -max-body admission
+// already keeps small; the cap only guards against a confused endpoint.
+const maxPeerBody = 64 << 20
+
+// Client speaks the inter-shard protocol: GET /v1/cache/{key} to peek a
+// peer's result cache, and verbatim request forwarding to a key's owner.
+// Every transport failure is retried exactly once (fresh attempt budget);
+// after that the caller falls back to local compute.
+type Client struct {
+	hc *http.Client
+}
+
+// NewClient builds a peer client whose individual attempts are bounded by
+// timeout (≤ 0 selects DefaultPeerTimeout).
+func NewClient(timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = DefaultPeerTimeout
+	}
+	return &Client{hc: &http.Client{Timeout: timeout}}
+}
+
+// Peek asks peer whether its result cache holds key. It returns
+// (body, true) on a cache hit, (nil, false) with a nil error on a clean
+// miss (404), and an error for anything else — including transport
+// failures after the retry — so the caller can distinguish "the owner
+// doesn't have it yet" from "the owner is unreachable".
+func (c *Client) Peek(ctx context.Context, peer, key string, hdr http.Header) ([]byte, bool, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			"http://"+peer+"/v1/cache/"+key, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		copyHeader(req.Header, hdr)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+		resp.Body.Close()
+		switch {
+		case err != nil:
+			lastErr = err
+		case resp.StatusCode == http.StatusOK:
+			return body, true, nil
+		case resp.StatusCode == http.StatusNotFound:
+			return nil, false, nil
+		default:
+			// An unexpected status (peer mid-shutdown, misrouted) is an
+			// error, not a miss: the caller should not conclude the owner
+			// has no result.
+			lastErr = fmt.Errorf("cluster: peek %s: unexpected status %d", peer, resp.StatusCode)
+		}
+	}
+	return nil, false, fmt.Errorf("cluster: peek %s: %w", peer, lastErr)
+}
+
+// Forward sends the request body to its owning peer and returns the peer's
+// status and body verbatim. Transport errors and 5xx answers are retried
+// once; a 5xx after the retry is returned as an error so the caller falls
+// back to local compute instead of relaying a peer's internal failure.
+// Client-level statuses (4xx) are the peer's authoritative answer for this
+// request and are relayed as-is.
+func (c *Client) Forward(ctx context.Context, peer, method, path string, body []byte, hdr http.Header) (int, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, "http://"+peer+path, rd)
+		if err != nil {
+			return 0, nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		req.Header.Set(ForwardedHeader, "1")
+		copyHeader(req.Header, hdr)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+		resp.Body.Close()
+		switch {
+		case err != nil:
+			lastErr = err
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("cluster: forward %s: status %d", peer, resp.StatusCode)
+		default:
+			return resp.StatusCode, respBody, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("cluster: forward %s: %w", peer, lastErr)
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}

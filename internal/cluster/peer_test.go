@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// peerAddr strips the scheme so the test server looks like a -peers entry.
+func peerAddr(ts *httptest.Server) string {
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+func TestClientPeekHitMiss(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/cache/have" {
+			w.Write([]byte(`{"cached":true}` + "\n")) //nolint:errcheck
+			return
+		}
+		http.Error(w, `{"error":"not found"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	c := NewClient(time.Second)
+	body, found, err := c.Peek(context.Background(), peerAddr(ts), "have", nil)
+	if err != nil || !found || !strings.Contains(string(body), "cached") {
+		t.Fatalf("peek hit = %q, %v, %v", body, found, err)
+	}
+	body, found, err = c.Peek(context.Background(), peerAddr(ts), "missing", nil)
+	if err != nil || found || body != nil {
+		t.Fatalf("peek miss = %q, %v, %v; want clean miss", body, found, err)
+	}
+}
+
+func TestClientPeekUnreachableIsError(t *testing.T) {
+	// Grab a port, then close it: connection refused, not a miss.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	c := NewClient(500 * time.Millisecond)
+	_, found, err := c.Peek(context.Background(), addr, "k", nil)
+	if err == nil || found {
+		t.Fatalf("peek of dead peer = found=%v err=%v, want error", found, err)
+	}
+}
+
+func TestClientForwardRelaysAndMarks(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(ForwardedHeader) != "1" {
+			t.Errorf("forwarded request missing %s header", ForwardedHeader)
+		}
+		if r.Header.Get("Traceparent") == "" {
+			t.Error("extra headers not propagated")
+		}
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		w.Write([]byte(`{"error":"bad program"}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := NewClient(time.Second)
+	hdr := http.Header{"Traceparent": {"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "-01"}}
+	status, body, err := c.Forward(context.Background(), peerAddr(ts),
+		http.MethodPost, "/v1/analyze", []byte(`{"source":"x"}`), hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4xx is the peer's authoritative answer: relayed, not an error.
+	if status != http.StatusUnprocessableEntity || !strings.Contains(string(body), "bad program") {
+		t.Fatalf("forward = %d %q", status, body)
+	}
+}
+
+func TestClientForwardRetriesOnce(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := NewClient(time.Second)
+	status, body, err := c.Forward(context.Background(), peerAddr(ts),
+		http.MethodPost, "/v1/analyze", []byte(`{}`), nil)
+	if err != nil || status != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("forward after retry = %d %q %v", status, body, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2 (one retry)", calls.Load())
+	}
+}
+
+func TestClientForwardGivesUpAfterRetry(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c := NewClient(time.Second)
+	_, _, err := c.Forward(context.Background(), peerAddr(ts),
+		http.MethodPost, "/v1/analyze", []byte(`{}`), nil)
+	if err == nil {
+		t.Fatal("persistent 5xx must surface as an error (local fallback)")
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want exactly 2", calls.Load())
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"encoding/hex"
@@ -118,4 +119,21 @@ func isHex(s string) bool {
 		}
 	}
 	return true
+}
+
+// Outbound renders the traceparent header an outbound hop (a cluster proxy
+// to a peer shard) should carry so the downstream process's spans land on
+// the same distributed trace: the current span becomes the parent. Returns
+// "" when the context carries no live span — callers simply omit the
+// header, as with every other nil-safe obs entry point.
+func Outbound(ctx context.Context) string {
+	s := SpanFromContext(ctx)
+	if s == nil {
+		return ""
+	}
+	tid, sid := s.TraceID(), s.ID()
+	if tid == (TraceID{}) || sid == (SpanID{}) {
+		return ""
+	}
+	return Traceparent{TraceID: tid, Parent: sid, Flags: 0x01}.Format()
 }

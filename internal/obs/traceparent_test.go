@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -88,4 +89,21 @@ func TestLoggerConstruction(t *testing.T) {
 		t.Error("bad format should fail")
 	}
 	Nop().Error("dropped") // must not panic, must not write anywhere visible
+}
+
+func TestOutbound(t *testing.T) {
+	if got := Outbound(context.Background()); got != "" {
+		t.Errorf("Outbound without a span = %q, want empty", got)
+	}
+	tr := NewTracer(4)
+	ctx, span := tr.StartRoot(context.Background(), "http test", TraceID{})
+	h := Outbound(ctx)
+	tp, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("Outbound produced unparseable header %q: %v", h, err)
+	}
+	if tp.TraceID != span.TraceID() || tp.Parent != span.ID() {
+		t.Errorf("Outbound = %q, want trace %s parent %s", h, span.TraceID(), span.ID())
+	}
+	span.End()
 }

@@ -1,0 +1,123 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/core/pathmatrix"
+)
+
+// handleBatch serves POST /v1/batch: many analyze requests in one call,
+// answered as NDJSON — one BatchItemResult line per item, flushed as soon
+// as it is ready, always in item order. Items run concurrently, bounded by
+// Config.BatchParallel so one batch cannot monopolize the admission queue;
+// each item then passes through exactly the same resolve path as a
+// standalone /v1/analyze (cluster routing, peer peek, cache, singleflight,
+// pool admission), so per-item failures come back as per-item error
+// envelopes — a parse error in item 3 never costs items 0–2 their answers.
+//
+// The emitted bytes are deterministic for a fixed item list: lines carry no
+// cache or shard telemetry, and in-order emission makes the whole response
+// byte-identical whether results landed hot, cold, or on another shard.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := s.decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	n := len(req.Items)
+	if n == 0 {
+		writeError(w, fmt.Errorf("%w: batch has no items", ErrBadRequest))
+		return
+	}
+	if n > s.cfg.MaxBatchItems {
+		writeError(w, &TooLargeError{What: "batch items", Size: int64(n), Limit: int64(s.cfg.MaxBatchItems)})
+		return
+	}
+	s.metrics.BatchRequest(n)
+
+	ctx := r.Context()
+	forwarded := isForwarded(r)
+	lines := make([][]byte, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, s.cfg.BatchParallel)
+	for i := range req.Items {
+		go func(i int) {
+			defer close(done[i])
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				return // the emitter stopped with the client; no line needed
+			}
+			lines[i] = s.batchLine(ctx, i, &req.Items[i], forwarded)
+		}(i)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	for i := 0; i < n; i++ {
+		select {
+		case <-done[i]:
+		case <-ctx.Done():
+			return
+		}
+		if lines[i] == nil {
+			return
+		}
+		w.Write(lines[i])     //nolint:errcheck
+		w.Write([]byte{'\n'}) //nolint:errcheck
+		rc.Flush()            //nolint:errcheck
+	}
+}
+
+// batchLine resolves one batch item and renders its NDJSON line.
+func (s *Server) batchLine(ctx context.Context, idx int, item *AnalyzeRequest, forwarded bool) []byte {
+	compute := func(c context.Context) (any, error) { return BuildAnalyze(c, item) }
+	if s.computeHook != nil {
+		if h := s.computeHook("analyze"); h != nil {
+			compute = h
+		}
+	}
+	var res resolved
+	if canonical, err := json.Marshal(item); err != nil {
+		res = resolved{err: fmt.Errorf("%w: %v", ErrBadRequest, err)}
+	} else {
+		key := Key("analyze", pathmatrix.EngineVersion, string(canonical))
+		res = s.resolve(ctx, "batch", "analyze", key, canonical, forwarded, compute)
+	}
+
+	out := BatchItemResult{Index: idx}
+	switch {
+	case res.err != nil:
+		code, env := statusFor(res.err)
+		out.Status, out.Error = code, &env
+	case res.status >= 400:
+		// A peer relayed its error envelope; re-embed it typed so the line
+		// shape matches locally-resolved failures byte for byte.
+		env := errorBody{}
+		if err := json.Unmarshal(bytes.TrimSpace(res.body), &env); err != nil || env.Error == "" {
+			env = errorBody{Error: strings.TrimSpace(string(res.body))}
+		}
+		out.Status, out.Error = res.status, &env
+	default:
+		out.Status = res.status
+		out.Response = json.RawMessage(bytes.TrimRight(res.body, "\n"))
+	}
+	line, err := json.Marshal(out)
+	if err != nil {
+		// Marshal of our own structs cannot fail; keep the stream coherent
+		// if it somehow does.
+		line, _ = json.Marshal(BatchItemResult{Index: idx, Status: http.StatusInternalServerError,
+			Error: &errorBody{Error: "encoding batch line: " + err.Error()}})
+	}
+	return line
+}

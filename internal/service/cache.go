@@ -119,6 +119,22 @@ func (c *Cache) Len() int {
 	return c.lru.Len()
 }
 
+// Peek returns the cached bytes for key without computing anything — the
+// cluster cache-peek endpoint (GET /v1/cache/{key}): a peer asking "do you
+// already have this?" before deciding to forward the full request. A found
+// entry is refreshed in the LRU — a peer's interest is evidence of reuse.
+// The returned bytes are shared; callers must not mutate them.
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
 // flightRefs reports how many live waiters (leader included) the key's
 // in-flight computation has (tests use it to make races deterministic).
 func (c *Cache) flightRefs(key string) int {

@@ -32,6 +32,22 @@ type Metrics struct {
 	inflight atomic.Int64
 	latNanos atomic.Int64
 	latCount atomic.Uint64
+
+	// Cluster counters. The requester side: peek answered from the owner's
+	// cache (peerHits), clean peek miss then full forward (forwarded), owner
+	// unreachable/shedding so computed locally (fallbacks). The serving
+	// side: peeks this process answered (peekHits/peekMisses). ringPeers is
+	// a config gauge (0 = single-process).
+	peerHits   atomic.Uint64
+	peerMisses atomic.Uint64
+	forwarded  atomic.Uint64
+	fallbacks  atomic.Uint64
+	peekHits   atomic.Uint64
+	peekMisses atomic.Uint64
+	ringPeers  atomic.Int64
+
+	batchRequests atomic.Uint64
+	batchItems    atomic.Uint64
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -204,6 +220,50 @@ func (m *Metrics) FlightRefsFor(endpoint string) int64 {
 	return m.flightRefs[endpoint]
 }
 
+// ClusterPeerHit records a request answered from a peer's cache via the
+// peek protocol — the cross-process dedup the ring exists for.
+func (m *Metrics) ClusterPeerHit() { m.peerHits.Add(1) }
+
+// ClusterPeerHits reads the peer-hit counter (tests and the cluster-smoke
+// job assert it grows).
+func (m *Metrics) ClusterPeerHits() uint64 { return m.peerHits.Load() }
+
+// ClusterPeerMiss records a clean peek miss (the owner will get the
+// forwarded request instead).
+func (m *Metrics) ClusterPeerMiss() { m.peerMisses.Add(1) }
+
+// ClusterForwarded records a request proxied in full to its owning shard.
+func (m *Metrics) ClusterForwarded() { m.forwarded.Add(1) }
+
+// ClusterForwards reads the forwarded counter.
+func (m *Metrics) ClusterForwards() uint64 { return m.forwarded.Load() }
+
+// ClusterFallback records a local computation of a remotely-owned key
+// because the owner was unreachable or shedding.
+func (m *Metrics) ClusterFallback() { m.fallbacks.Add(1) }
+
+// ClusterFallbacks reads the fallback counter (the dead-peer tests assert
+// availability won over partitioning).
+func (m *Metrics) ClusterFallbacks() uint64 { return m.fallbacks.Load() }
+
+// ClusterPeekServed records one answered GET /v1/cache/{key}.
+func (m *Metrics) ClusterPeekServed(found bool) {
+	if found {
+		m.peekHits.Add(1)
+	} else {
+		m.peekMisses.Add(1)
+	}
+}
+
+// SetRingPeers publishes the configured cluster size (0 = single-process).
+func (m *Metrics) SetRingPeers(n int) { m.ringPeers.Store(int64(n)) }
+
+// BatchRequest records one /v1/batch request carrying n items.
+func (m *Metrics) BatchRequest(n int) {
+	m.batchRequests.Add(1)
+	m.batchItems.Add(uint64(n))
+}
+
 // RequestStarted/RequestDone maintain the inflight gauge.
 func (m *Metrics) RequestStarted() { m.inflight.Add(1) }
 
@@ -266,6 +326,29 @@ func (m *Metrics) WriteProm(w io.Writer, cacheLen, poolInUse, poolCap, queued, q
 		fmt.Fprintf(w, "addsd_flight_refs{endpoint=%q} %d\n", k, m.flightRefs[k])
 	}
 	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP addsd_cluster_peer_hit_total Requests answered from a peer shard's cache (peek protocol).\n")
+	fmt.Fprintf(w, "# TYPE addsd_cluster_peer_hit_total counter\n")
+	fmt.Fprintf(w, "addsd_cluster_peer_hit_total %d\n", m.peerHits.Load())
+	fmt.Fprintf(w, "# TYPE addsd_cluster_peer_miss_total counter\n")
+	fmt.Fprintf(w, "addsd_cluster_peer_miss_total %d\n", m.peerMisses.Load())
+	fmt.Fprintf(w, "# HELP addsd_cluster_forwarded_total Requests proxied in full to their owning shard.\n")
+	fmt.Fprintf(w, "# TYPE addsd_cluster_forwarded_total counter\n")
+	fmt.Fprintf(w, "addsd_cluster_forwarded_total %d\n", m.forwarded.Load())
+	fmt.Fprintf(w, "# HELP addsd_cluster_fallback_total Remotely-owned keys computed locally because the owner was unreachable or shedding.\n")
+	fmt.Fprintf(w, "# TYPE addsd_cluster_fallback_total counter\n")
+	fmt.Fprintf(w, "addsd_cluster_fallback_total %d\n", m.fallbacks.Load())
+	fmt.Fprintf(w, "# TYPE addsd_cluster_peek_hit_total counter\n")
+	fmt.Fprintf(w, "addsd_cluster_peek_hit_total %d\n", m.peekHits.Load())
+	fmt.Fprintf(w, "# TYPE addsd_cluster_peek_miss_total counter\n")
+	fmt.Fprintf(w, "addsd_cluster_peek_miss_total %d\n", m.peekMisses.Load())
+	fmt.Fprintf(w, "# TYPE addsd_cluster_ring_peers gauge\n")
+	fmt.Fprintf(w, "addsd_cluster_ring_peers %d\n", m.ringPeers.Load())
+
+	fmt.Fprintf(w, "# TYPE addsd_batch_requests_total counter\n")
+	fmt.Fprintf(w, "addsd_batch_requests_total %d\n", m.batchRequests.Load())
+	fmt.Fprintf(w, "# TYPE addsd_batch_items_total counter\n")
+	fmt.Fprintf(w, "addsd_batch_items_total %d\n", m.batchItems.Load())
 
 	fmt.Fprintf(w, "# TYPE addsd_inflight_requests gauge\n")
 	fmt.Fprintf(w, "addsd_inflight_requests %d\n", m.inflight.Load())

@@ -77,3 +77,8 @@ func (p *pool) queued() int {
 
 // queueCapacity returns the admission-queue bound (tickets beyond slots).
 func (p *pool) queueCapacity() int { return cap(p.tickets) - cap(p.sem) }
+
+// saturated reports whether the next acquire would shed: every admission
+// ticket is held. /readyz turns this into a 503 so a routing layer stops
+// sending traffic before it turns into 429s.
+func (p *pool) saturated() bool { return len(p.tickets) == cap(p.tickets) }

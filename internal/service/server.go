@@ -21,9 +21,15 @@ import (
 	"repro/internal/obs"
 )
 
-// maxBodyBytes bounds request bodies; mini sources are small, and the cap
-// keeps a hostile client from ballooning the cache key hashing.
-const maxBodyBytes = 4 << 20
+// DefaultMaxBodyBytes bounds request bodies when Config.MaxBodyBytes is
+// zero; mini sources are small, and the cap keeps a hostile client from
+// ballooning the cache key hashing. Oversized bodies are a 413 with a typed
+// TooLargeError envelope, rejected before the JSON decoder runs.
+const DefaultMaxBodyBytes = 4 << 20
+
+// DefaultMaxBatchItems bounds /v1/batch item counts when
+// Config.MaxBatchItems is zero.
+const DefaultMaxBatchItems = 256
 
 // StatusClientClosedRequest reports a request whose context was cancelled
 // by the client (nginx's 499 convention; Go has no named constant).
@@ -35,6 +41,18 @@ type Config struct {
 	Workers        int           // concurrent analyses (default GOMAXPROCS)
 	QueueDepth     int           // flights queued for a slot before shedding (default 4×workers; <0 = no queue)
 	RequestTimeout time.Duration // per-flight analysis budget (default 30s)
+	MaxBodyBytes   int64         // request-body bound, 413 beyond it (default DefaultMaxBodyBytes)
+	MaxBatchItems  int           // /v1/batch item bound, 413 beyond it (default DefaultMaxBatchItems)
+	BatchParallel  int           // per-batch concurrent items (default min(Workers, 4))
+
+	// Peers enables cluster shard/proxy mode: the full peer list (host:port,
+	// this process included as Self). Each request's content-address key is
+	// placed on a consistent-hash ring over Peers; a request for a key
+	// another shard owns is answered by peeking that shard's cache, then
+	// forwarding, then — if the owner is unreachable — computing locally.
+	Peers       []string
+	Self        string        // this process's advertised addr within Peers
+	PeerTimeout time.Duration // per peer-attempt budget (default cluster.DefaultPeerTimeout)
 
 	Logger    *slog.Logger // access + lifecycle log (default: discard)
 	Tracer    *obs.Tracer  // request tracer (default: fresh tracer over TraceRing)
@@ -54,6 +72,18 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.MaxBatchItems == 0 {
+		c.MaxBatchItems = DefaultMaxBatchItems
+	}
+	if c.BatchParallel == 0 {
+		c.BatchParallel = min(c.Workers, 4)
+	}
+	if c.BatchParallel < 1 {
+		c.BatchParallel = 1
+	}
 	return c
 }
 
@@ -67,6 +97,13 @@ type Server struct {
 	logger  *slog.Logger
 	tracer  *obs.Tracer
 	mux     *http.ServeMux
+
+	// cluster is non-nil in shard/proxy mode (Config.Peers). clusterErr
+	// records a misconfiguration (self missing from the peer list, bad
+	// ring): the server still serves single-process, but /readyz reports
+	// not-ready so no proxy routes to a shard with a broken ring view.
+	cluster    *clusterState
+	clusterErr string
 
 	// computeHook, when non-nil, replaces an endpoint's compute function.
 	// It is a fault-injection seam for tests (slow, failing, or hanging
@@ -90,6 +127,10 @@ func New(cfg Config) *Server {
 	if s.logger == nil {
 		s.logger = obs.Nop()
 	}
+	s.cluster, s.clusterErr = newClusterState(cfg)
+	if s.cluster != nil {
+		s.metrics.SetRingPeers(s.cluster.ring.Len())
+	}
 	if s.tracer == nil {
 		s.tracer = obs.NewTracer(cfg.TraceRing)
 	}
@@ -111,9 +152,11 @@ func New(cfg Config) *Server {
 	// aliases onto the same handlers (same cache keys, so the bodies are
 	// byte-identical — only the Deprecation/Link headers differ).
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/depgraph", s.handleDepgraph)
 	s.mux.HandleFunc("POST /v1/pipeline", s.handlePipeline)
 	s.mux.HandleFunc("POST /v1/reanalyze", s.handleReanalyze)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("POST /analyze", legacy(s.handleAnalyze))
@@ -122,6 +165,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /experiments", legacy(s.handleExperimentList))
 	s.mux.HandleFunc("GET /experiments/{id}", legacy(s.handleExperiment))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -182,7 +226,7 @@ func (s *Server) observeSpan(rec obs.SpanRecord) {
 // anyone cares about.
 func traced(label string) bool {
 	switch label {
-	case "analyze", "depgraph", "pipeline", "reanalyze", "experiments":
+	case "analyze", "batch", "depgraph", "pipeline", "reanalyze", "experiments":
 		return true
 	}
 	return false
@@ -194,7 +238,7 @@ func traced(label string) bool {
 // leader's flight writes queueWait from its own goroutine.
 type reqStats struct {
 	mu         sync.Mutex
-	outcome    Outcome
+	outcome    string // cache outcome, possibly cluster-qualified (peer-hit, forwarded, fallback-miss)
 	hasOutcome bool
 	queueWait  time.Duration
 	shed       bool
@@ -207,7 +251,7 @@ func reqStatsFrom(ctx context.Context) *reqStats {
 	return rs
 }
 
-func (rs *reqStats) setOutcome(o Outcome) {
+func (rs *reqStats) setOutcome(o string) {
 	if rs == nil {
 		return
 	}
@@ -234,7 +278,7 @@ func (rs *reqStats) setShed() {
 	rs.mu.Unlock()
 }
 
-func (rs *reqStats) snapshot() (o Outcome, has bool, wait time.Duration, shed bool) {
+func (rs *reqStats) snapshot() (o string, has bool, wait time.Duration, shed bool) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	return rs.outcome, rs.hasOutcome, rs.queueWait, rs.shed
@@ -304,7 +348,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		if hasOutcome {
 			attrs = append(attrs,
-				slog.String("cache", outcome.String()),
+				slog.String("cache", outcome),
 				slog.Duration("queueWait", queueWait))
 		}
 		if shed {
@@ -374,6 +418,8 @@ func endpointLabel(path string) string {
 	switch {
 	case p == "/analyze":
 		return "analyze"
+	case p == "/batch":
+		return "batch"
 	case p == "/depgraph":
 		return "depgraph"
 	case p == "/pipeline":
@@ -382,8 +428,12 @@ func endpointLabel(path string) string {
 		return "reanalyze"
 	case p == "/experiments" || strings.HasPrefix(p, "/experiments/"):
 		return "experiments"
+	case strings.HasPrefix(p, "/cache/"):
+		return "cache"
 	case path == "/healthz":
 		return "healthz"
+	case path == "/readyz":
+		return "readyz"
 	case path == "/metrics":
 		return "metrics"
 	case strings.HasPrefix(path, "/debug/trace"):
@@ -394,20 +444,18 @@ func endpointLabel(path string) string {
 	return "other"
 }
 
-// errorBody is the JSON error envelope every endpoint shares.
-type errorBody struct {
-	Error string `json:"error"`
-	Field string `json:"field,omitempty"`
-	Line  int    `json:"line,omitempty"`
-	Col   int    `json:"col,omitempty"`
-}
+// errorBody is the JSON error envelope every endpoint shares, promoted to
+// the public wire package so /v1/batch can embed it per item.
+type errorBody = ErrorEnvelope
 
-// writeError maps an error to its HTTP status and writes the envelope.
-func writeError(w http.ResponseWriter, err error) {
+// statusFor maps an error to its HTTP status and envelope. Shared by
+// writeError and the per-item envelopes of /v1/batch.
+func statusFor(err error) (int, errorBody) {
 	code := http.StatusInternalServerError
 	body := errorBody{Error: err.Error()}
 	var se *adds.SourceError
 	var ufe *UnknownFieldError
+	var tle *TooLargeError
 	switch {
 	case errors.As(err, &se):
 		code = http.StatusUnprocessableEntity
@@ -415,6 +463,8 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.As(err, &ufe):
 		code = http.StatusBadRequest
 		body.Field = ufe.Field
+	case errors.As(err, &tle):
+		code = http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrBadRequest), errors.Is(err, adds.ErrBadWidth):
 		code = http.StatusBadRequest
 	case errors.Is(err, adds.ErrUnknownFunction), errors.Is(err, adds.ErrNoSuchLoop),
@@ -422,11 +472,19 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, ErrOverloaded):
 		code = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, context.DeadlineExceeded):
 		code = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		code = StatusClientClosedRequest
+	}
+	return code, body
+}
+
+// writeError maps an error to its HTTP status and writes the envelope.
+func writeError(w http.ResponseWriter, err error) {
+	code, body := statusFor(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, code, body)
 }
@@ -441,14 +499,17 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // decodeBody parses a JSON request body into v. Unknown fields are a 400,
 // not a silent default: a typoed "orcale" key must fail loudly instead of
-// answering for the default oracle.
-func decodeBody(r *http.Request, v any) error {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+// answering for the default oracle. Bodies over the configured -max-body
+// bound are a 413 with a typed TooLargeError, rejected before the decoder
+// reads unbounded input.
+func (s *Server) decodeBody(r *http.Request, v any) error {
+	limit := s.cfg.MaxBodyBytes
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
 	if err != nil {
 		return fmt.Errorf("%w: reading body: %v", ErrBadRequest, err)
 	}
-	if len(body) > maxBodyBytes {
-		return fmt.Errorf("%w: body exceeds %d bytes", ErrBadRequest, maxBodyBytes)
+	if int64(len(body)) > limit {
+		return &TooLargeError{What: "body", Limit: limit}
 	}
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
@@ -487,9 +548,56 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 		return
 	}
 	key := Key(endpoint, pathmatrix.EngineVersion, string(canonical))
-
 	label := endpointLabel(r.URL.Path)
-	reqCtx := r.Context()
+	res := s.resolve(r.Context(), label, endpoint, key, canonical, isForwarded(r), compute)
+	if res.err != nil {
+		writeError(w, res.err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", res.cache)
+	w.WriteHeader(res.status)
+	w.Write(res.body) //nolint:errcheck
+	if len(res.body) == 0 || res.body[len(res.body)-1] != '\n' {
+		io.WriteString(w, "\n") //nolint:errcheck
+	}
+}
+
+// resolved is the outcome of resolving one content-addressed request:
+// either err (mapped through statusFor), or status plus the response body —
+// which for a forwarded 4xx is the owning peer's error envelope, relayed
+// verbatim so single-process and cluster answers stay byte-identical.
+type resolved struct {
+	status int
+	body   []byte
+	cache  string // X-Cache value: hit|miss|coalesced, peer-hit|forwarded, or fallback-*
+	err    error
+}
+
+// resolve serves one request through the cluster (when configured) and the
+// local cache. A key another shard owns is answered by peeking that shard's
+// cache, then forwarding the canonical request; if the owner is unreachable
+// or shedding, the request is computed locally — availability beats
+// placement. A request that already made a hop (ForwardedHeader) is always
+// local, so disagreeing ring views can never bounce it a second time.
+func (s *Server) resolve(ctx context.Context, label, endpoint, key string, canonical []byte, forwarded bool, compute func(ctx context.Context) (any, error)) resolved {
+	if s.cluster != nil && !forwarded {
+		if owner := s.cluster.ring.Owner(key); owner != s.cluster.self {
+			if res, ok := s.viaPeer(ctx, owner, endpoint, key, canonical); ok {
+				rs := reqStatsFrom(ctx)
+				rs.setOutcome(res.cache)
+				return res
+			}
+			return s.localResolve(ctx, label, key, "fallback-", compute)
+		}
+	}
+	return s.localResolve(ctx, label, key, "", compute)
+}
+
+// localResolve is the single-process path: the content-addressed cache with
+// singleflight, computing on a pool slot behind the admission queue. prefix
+// qualifies the cache outcome when this is a cluster fallback.
+func (s *Server) localResolve(reqCtx context.Context, label, key, prefix string, compute func(ctx context.Context) (any, error)) resolved {
 	rs := reqStatsFrom(reqCtx)
 	val, outcome, err := s.cache.Do(reqCtx, key, func(ctx context.Context) ([]byte, error) {
 		ctx = obs.Adopt(ctx, reqCtx)
@@ -510,27 +618,20 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 		return json.Marshal(resp)
 	}, func(delta int) { s.metrics.FlightRefs(label, delta) })
 	s.metrics.ObserveCache(outcome)
-	rs.setOutcome(outcome)
+	rs.setOutcome(prefix + outcome.String())
 	if err != nil {
 		if errors.Is(err, ErrOverloaded) {
 			s.metrics.ObserveShed(label)
 			rs.setShed()
 		}
-		writeError(w, err)
-		return
+		return resolved{err: err}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Cache", outcome.String())
-	w.WriteHeader(http.StatusOK)
-	w.Write(val) //nolint:errcheck
-	if len(val) == 0 || val[len(val)-1] != '\n' {
-		io.WriteString(w, "\n") //nolint:errcheck
-	}
+	return resolved{status: http.StatusOK, body: val, cache: prefix + outcome.String()}
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := s.decodeBody(r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -541,7 +642,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDepgraph(w http.ResponseWriter, r *http.Request) {
 	var req DepgraphRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := s.decodeBody(r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -552,7 +653,7 @@ func (s *Server) handleDepgraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 	var req PipelineRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := s.decodeBody(r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -568,7 +669,7 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 // the same queue span and shed accounting as the cached endpoints.
 func (s *Server) handleReanalyze(w http.ResponseWriter, r *http.Request) {
 	var req ReanalyzeRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := s.decodeBody(r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -649,6 +750,10 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, obs.ToJSON(t))
 }
 
+// handleHealthz is liveness only: 200 whenever the process is serving,
+// regardless of load. Routing decisions (queue saturation, ring
+// configuration) belong to /readyz — a saturated shard is alive but must
+// not receive new traffic.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{
 		"status": "ok",

@@ -32,6 +32,27 @@ func (e *UnknownFieldError) Error() string {
 // request-shape failures.
 func (e *UnknownFieldError) Unwrap() error { return ErrBadRequest }
 
+// TooLargeError reports a request that exceeds a configured admission bound
+// — a body over -max-body bytes, or a /v1/batch item count over -max-batch.
+// Handlers map it to 413 so an oversized body is rejected before the JSON
+// decoder reads unbounded input, instead of the generic 400.
+type TooLargeError struct {
+	What  string // what was measured: "body", "batch items"
+	Size  int64  // observed size (0 when only the excess is known)
+	Limit int64  // the configured bound
+}
+
+func (e *TooLargeError) Error() string {
+	if e.Size > 0 {
+		return fmt.Sprintf("request too large: %s %d exceeds limit %d", e.What, e.Size, e.Limit)
+	}
+	return fmt.Sprintf("request too large: %s exceeds limit %d", e.What, e.Limit)
+}
+
+// Unwrap classifies an oversized request as a request-shape failure for
+// callers that only branch on ErrBadRequest.
+func (e *TooLargeError) Unwrap() error { return ErrBadRequest }
+
 // The request/response shapes live in the public adds/wire package so
 // clients can share them; the aliases keep every existing reference in this
 // package (and the encoded bytes, pinned by the goldens) unchanged.
@@ -51,6 +72,9 @@ type (
 	ReanalyzeRequest  = wire.ReanalyzeRequest
 	SummaryStats      = wire.SummaryStats
 	ReanalyzeResponse = wire.ReanalyzeResponse
+	BatchRequest      = wire.BatchRequest
+	BatchItemResult   = wire.BatchItemResult
+	ErrorEnvelope     = wire.ErrorEnvelope
 )
 
 // oracleFor resolves the request's oracle selection against an analysis.
