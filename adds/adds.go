@@ -6,7 +6,7 @@
 //
 //	unit, err := adds.Load(src)           // parse + type-check mini source
 //	an, err := unit.AnalyzeOpt(ctx, "shift",
-//	    adds.WithOracle(adds.GPM))        // general path matrix analysis
+//	    adds.WithOracle("gpm"))           // general path matrix analysis
 //	m := an.LoopMatrix(0)                 // PM at the loop's fixed point
 //	dg := an.Dependences(0, an.Oracle())
 //	pl, _ := an.Pipeline(0, 8)            // software-pipelined VLIW code
@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/alias"
 	"repro/internal/alias/klimit"
+	"repro/internal/alias/smg"
 	"repro/internal/core/pathmatrix"
 	"repro/internal/core/validation"
 	"repro/internal/depgraph"
@@ -231,6 +232,12 @@ func (a *Analysis) ConservativeOracle() Oracle { return alias.NewConservative(a.
 // KLimitedOracle returns the k-limited storage-graph baseline.
 func (a *Analysis) KLimitedOracle(k int) Oracle {
 	return klimit.Analyze(a.Graph, a.Unit.Info.Env, k)
+}
+
+// SMGOracle returns the SMG-lite symbolic-memory-graph oracle (Predator-
+// style segments with materialization on strong update).
+func (a *Analysis) SMGOracle() Oracle {
+	return smg.Analyze(a.Graph, a.Unit.Info.Env)
 }
 
 // options builds dependence options for loop i under an oracle.

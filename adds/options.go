@@ -3,67 +3,56 @@ package adds
 import (
 	"context"
 	"fmt"
-	"strings"
 	"sync"
 
+	"repro/internal/alias"
 	"repro/internal/core/pathmatrix"
 	"repro/internal/ir"
 	"repro/internal/norm"
 	"repro/internal/obs"
 )
 
-// OracleKind selects an alias oracle by name instead of by constructing one
-// from an Analysis, so callers can pick an oracle before analysis runs (and
-// wire requests straight through to WithOracle).
-type OracleKind int
-
-// The oracle registry, in the paper's order of precision.
-const (
-	// GPM is the ADDS-informed general path matrix oracle (the paper's
-	// analysis, and the default).
-	GPM OracleKind = iota
-	// Classic is the annotation-free path matrix oracle.
-	Classic
-	// Conservative is the worst-case baseline.
-	Conservative
-	// KLimited is the k-limited storage-graph baseline (see WithK).
-	KLimited
-)
-
-// String names the oracle the way the CLIs spell it.
-func (k OracleKind) String() string {
-	switch k {
-	case GPM:
-		return "gpm"
-	case Classic:
-		return "classic"
-	case Conservative:
-		return "conservative"
-	case KLimited:
-		return "klimit"
+// ParseOracle validates a CLI/API oracle spelling against the registry and
+// returns its canonical name ("" and aliases like "klimited" canonicalize;
+// the empty name selects the default, gpm). Unknown names report an error
+// listing every registered oracle.
+func ParseOracle(name string) (string, error) {
+	f, err := alias.Lookup(name)
+	if err != nil {
+		return "", fmt.Errorf("adds: %w", err)
 	}
-	return fmt.Sprintf("OracleKind(%d)", int(k))
+	return f.Name, nil
 }
 
-// ParseOracle maps a CLI/API oracle name to its kind.
-func ParseOracle(name string) (OracleKind, error) {
-	switch strings.ToLower(name) {
-	case "", "gpm":
-		return GPM, nil
-	case "classic":
-		return Classic, nil
-	case "conservative":
-		return Conservative, nil
-	case "klimit", "klimited":
-		return KLimited, nil
+// OracleNames returns the canonical names of every registered oracle, in
+// listing order — CLI usage strings and endpoint documentation derive from
+// this so spellings can never drift from what ParseOracle accepts.
+func OracleNames() []string { return alias.Names() }
+
+// OracleInfo describes one registered oracle for listings (GET /v1/oracles).
+type OracleInfo struct {
+	// Name is the canonical spelling ParseOracle returns.
+	Name string
+	// Description is the one-line human summary.
+	Description string
+	// NeedsK reports whether the oracle consumes the -k flag / request K.
+	NeedsK bool
+}
+
+// Oracles enumerates the registered oracles in listing order.
+func Oracles() []OracleInfo {
+	fs := alias.Factories()
+	out := make([]OracleInfo, len(fs))
+	for i, f := range fs {
+		out[i] = OracleInfo{Name: f.Name, Description: f.Description, NeedsK: f.NeedsK}
 	}
-	return 0, fmt.Errorf("adds: unknown oracle %q (known: gpm, classic, conservative, klimit)", name)
+	return out
 }
 
 // config collects the effect of the functional options.
 type config struct {
 	workers  int
-	oracle   OracleKind
+	oracle   string // canonical or raw oracle name; "" = default (gpm)
 	k        int
 	countCap int // 0 = package default
 	maxSteps int // 0 = package default
@@ -73,7 +62,7 @@ type config struct {
 	tracer   *Tracer
 }
 
-func defaultConfig() config { return config{oracle: GPM, k: 2} }
+func defaultConfig() config { return config{oracle: "gpm", k: 2} }
 
 // Option configures AnalyzeOpt and AnalyzeAllOpt.
 type Option func(*config)
@@ -83,12 +72,14 @@ type Option func(*config)
 // analysis.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
-// WithOracle selects the default oracle the Analysis hands out from
-// Oracle(); dependence and pipelining helpers that take an explicit Oracle
-// are unaffected.
-func WithOracle(o OracleKind) Option { return func(c *config) { c.oracle = o } }
+// WithOracle selects, by registry name ("gpm", "classic", "conservative",
+// "klimit", "smg", ...; see OracleNames), the default oracle the Analysis
+// hands out from Oracle(); dependence and pipelining helpers that take an
+// explicit Oracle are unaffected. Unknown names fall back to gpm at Oracle()
+// time — boundary-facing callers validate with ParseOracle first.
+func WithOracle(name string) Option { return func(c *config) { c.oracle = name } }
 
-// WithK sets k for the KLimited oracle (default 2).
+// WithK sets k for the k-limited oracle (default 2).
 func WithK(k int) Option { return func(c *config) { c.k = k } }
 
 // WithCountCap overrides the engine's per-field traversal count cap
@@ -171,7 +162,7 @@ func withCaps(cfg config, f func() error) error {
 // context-first entry point the older Analyze wraps:
 //
 //	an, err := u.AnalyzeOpt(ctx, "shift",
-//	    adds.WithOracle(adds.GPM), adds.WithCountCap(4))
+//	    adds.WithOracle("gpm"), adds.WithCountCap(4))
 //
 // Cancelling ctx abandons the fixed-point computation and returns ctx's
 // error. An unknown function name reports ErrUnknownFunction.
@@ -262,22 +253,32 @@ func (u *Unit) AnalyzeAllOpt(ctx context.Context, opts ...Option) (map[string]*A
 	return out, nil
 }
 
-// Oracle returns the oracle selected with WithOracle (GPM by default),
-// constructed for this analysis.
+// Oracle returns the oracle selected with WithOracle (gpm by default),
+// constructed for this analysis. Unregistered names fall back to gpm; use
+// OracleNamed to get the typed error instead.
 func (a *Analysis) Oracle() Oracle {
-	switch a.cfg.oracle {
-	case Classic:
-		return a.ClassicOracle()
-	case Conservative:
-		return a.ConservativeOracle()
-	case KLimited:
-		k := a.cfg.k
-		if k <= 0 {
-			k = 2
-		}
-		return a.KLimitedOracle(k)
+	o, err := a.OracleNamed(context.Background(), a.cfg.oracle, a.cfg.k)
+	if err != nil {
+		return a.GPMOracle()
 	}
-	return a.GPMOracle()
+	return o
+}
+
+// OracleNamed builds the named registered oracle for this analysis (see
+// OracleNames; "" selects gpm, k <= 0 the oracle's default k). The context
+// carries the caller's tracer, so oracles that record obs spans land on the
+// request trace. Unknown names report the registry's typed error.
+func (a *Analysis) OracleNamed(ctx context.Context, name string, k int) (Oracle, error) {
+	f, err := alias.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("adds: %w", err)
+	}
+	return f.Build(ctx, a.Graph, alias.BuildOpts{
+		Env:       a.Unit.Info.Env,
+		Info:      a.Unit.Info,
+		Summaries: a.GPM.Summaries,
+		K:         k,
+	}), nil
 }
 
 // CheckLoop reports ErrNoSuchLoop when i is not a loop index of the

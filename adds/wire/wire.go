@@ -122,6 +122,15 @@ type ExperimentDef struct {
 	Title string `json:"title"`
 }
 
+// OracleInfo is one registry row of GET /v1/oracles: an alias oracle the
+// daemon can run, in the order the tools present them. AcceptsK marks the
+// oracles whose precision is tuned by the request's "k" field.
+type OracleInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	AcceptsK    bool   `json:"acceptsK"`
+}
+
 // ErrorEnvelope is the JSON error body every endpoint shares: a message
 // plus optional locators (the offending JSON field for 400s, the source
 // position for 422s). /v1/batch embeds it per item.

@@ -83,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	if err != nil {
 		return fail(err)
 	}
-	kind, err := of.Kind()
+	oracleName, err := of.Canonical()
 	if err != nil {
 		return fail(err)
 	}
@@ -171,13 +171,17 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 			fns = append(fns, fd.Name)
 		}
 	}
-	lg.Debug("analysis complete", "functions", len(fns), "oracle", kind.String())
+	lg.Debug("analysis complete", "functions", len(fns), "oracle", oracleName)
 
 	for _, name := range fns {
 		an := analyses[name]
 		fmt.Fprintf(stdout, "=== function %s ===\n", name)
 
-		oracle := pickOracle(an, kind, of.K)
+		// The name was validated above, so construction cannot fail.
+		oracle, err := an.OracleNamed(ctx, oracleName, of.K)
+		if err != nil {
+			return fail(err)
+		}
 
 		if wants["ir"] {
 			fmt.Fprintln(stdout, "pseudo-assembly:")
@@ -281,16 +285,4 @@ func runJSON(ctx context.Context, stdout, stderr io.Writer, fail func(error) int
 		return fail(err)
 	}
 	return 0
-}
-
-func pickOracle(an *adds.Analysis, kind adds.OracleKind, k int) adds.Oracle {
-	switch kind {
-	case adds.Classic:
-		return an.ClassicOracle()
-	case adds.Conservative:
-		return an.ConservativeOracle()
-	case adds.KLimited:
-		return an.KLimitedOracle(k)
-	}
-	return an.GPMOracle()
 }

@@ -9,6 +9,7 @@
 //	addsd -addr :7117
 //	curl -s localhost:7117/healthz
 //	jq -Rs '{source: .}' prog.mini | curl -s -d @- localhost:7117/v1/analyze
+//	curl -s localhost:7117/v1/oracles     # the alias-oracle registry
 //
 // Concurrent identical requests coalesce onto one detached computation
 // whose lifetime is independent of any single client: a disconnecting

@@ -2,8 +2,10 @@
 // generates random well-typed ADDS programs (internal/gen), pushes each
 // through the difftest oracle pairs — interpreter traces vs. static alias
 // oracles, original vs. transformed execution, sequential vs. parallel
-// analysis, plus the addslint validation — and reports every divergence
-// minimized and content-addressed.
+// analysis, the SMG-lite vs. path-matrix cross-check, plus the addslint
+// validation — and reports every divergence minimized and
+// content-addressed. The smg check's may-alias disagreements are precision
+// deltas: logged and reported (the "deltas" field), never failures.
 //
 // Usage:
 //
@@ -161,6 +163,16 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 		lg.Warn("divergence", "check", d.Check, "profile", d.Profile,
 			"seed", d.Seed, "hash", d.Hash, "minHash", d.MinHash,
 			"minStmts", d.MinStmts)
+	}
+	// Precision deltas are triage signal, not failures: they never affect
+	// the exit status.
+	kinds := make([]string, 0, len(rep.Deltas))
+	for kind := range rep.Deltas {
+		kinds = append(kinds, kind)
+	}
+	slices.Sort(kinds)
+	for _, kind := range kinds {
+		lg.Info("precision delta", "kind", kind, "count", rep.Deltas[kind])
 	}
 
 	js, err := difftest.MarshalReport(rep)

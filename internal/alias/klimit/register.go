@@ -1,0 +1,28 @@
+package klimit
+
+import (
+	"context"
+
+	"repro/internal/alias"
+	"repro/internal/norm"
+)
+
+// The k-limited oracle plugs into the shared registry so -oracle klimit,
+// the /v1 endpoints, and the fuzzing harness all find it by name. The
+// legacy "klimited" spelling stays accepted as an alias.
+func init() {
+	alias.Register(alias.Factory{
+		Name:        "klimit",
+		Description: "k-limited storage graphs (Jones & Muchnick); -k bounds per-site materialization",
+		NeedsK:      true,
+		Rank:        3,
+		Aliases:     []string{"klimited"},
+		Build: func(_ context.Context, g *norm.Graph, opts alias.BuildOpts) alias.Oracle {
+			k := opts.K
+			if k <= 0 {
+				k = DefaultK
+			}
+			return Analyze(g, opts.Env, k)
+		},
+	})
+}

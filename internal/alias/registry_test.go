@@ -1,0 +1,91 @@
+package alias_test
+
+// The registry tests live in an external test package that imports both
+// subpackage registrants, so they see the registry exactly as the tools do
+// (every oracle registered).
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/alias"
+	_ "repro/internal/alias/klimit"
+	_ "repro/internal/alias/smg"
+	"repro/internal/norm"
+	"repro/internal/source/parser"
+	"repro/internal/source/types"
+)
+
+func TestRegistryNamesOrdered(t *testing.T) {
+	got := alias.Names()
+	want := []string{"gpm", "classic", "conservative", "klimit", "smg"}
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	for spelling, canonical := range map[string]string{
+		"":             "gpm",
+		"gpm":          "gpm",
+		"GPM":          "gpm",
+		"classic":      "classic",
+		"conservative": "conservative",
+		"klimit":       "klimit",
+		"klimited":     "klimit", // legacy alias
+		"smg":          "smg",
+	} {
+		f, err := alias.Lookup(spelling)
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", spelling, err)
+			continue
+		}
+		if f.Name != canonical {
+			t.Errorf("Lookup(%q) = %q, want %q", spelling, f.Name, canonical)
+		}
+	}
+	_, err := alias.Lookup("psychic")
+	if err == nil {
+		t.Fatal("unknown oracle should error")
+	}
+	for _, name := range alias.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error should enumerate %q: %v", name, err)
+		}
+	}
+}
+
+func TestRegistryBuildsEveryOracle(t *testing.T) {
+	src := `
+type List [X] {
+    int data;
+    List *next is uniquely forward along X;
+};
+void f(List *p) {
+    List *q;
+    q = p;
+}
+`
+	info := types.MustCheck(parser.MustParse(src))
+	fi := info.Func("f")
+	g := norm.Build(fi, info.Env)
+	for _, f := range alias.Factories() {
+		o := f.Build(context.Background(), g, alias.BuildOpts{Env: info.Env, Info: info, K: 2})
+		if o == nil {
+			t.Fatalf("%s: Build returned nil", f.Name)
+		}
+		if o.Name() == "" {
+			t.Fatalf("%s: empty oracle name", f.Name)
+		}
+		// A fresh copy of an unknown input is an alias under every oracle.
+		if !o.MayAlias(g.Exit, "p", "q") {
+			t.Errorf("%s: p and q must may-alias", f.Name)
+		}
+	}
+}

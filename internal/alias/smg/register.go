@@ -1,0 +1,22 @@
+package smg
+
+import (
+	"context"
+
+	"repro/internal/alias"
+	"repro/internal/norm"
+)
+
+// The SMG oracle plugs into the shared registry, which is the single
+// registration point: linking this package in makes -oracle smg, the /v1
+// endpoints, GET /v1/oracles, and the fuzzing harness all see it.
+func init() {
+	alias.Register(alias.Factory{
+		Name:        "smg",
+		Description: "SMG-lite symbolic memory graphs (Predator-style segments with materialization)",
+		Rank:        4,
+		Build: func(ctx context.Context, g *norm.Graph, opts alias.BuildOpts) alias.Oracle {
+			return AnalyzeCtx(ctx, g, opts.Env)
+		},
+	})
+}

@@ -75,22 +75,25 @@ type OracleFlags struct {
 	K    int
 }
 
-// RegisterOracleFlags adds -oracle and -k to the flag set.
+// RegisterOracleFlags adds -oracle and -k to the flag set. The usage text
+// enumerates the oracle registry, so a newly registered oracle shows up in
+// every tool's -help without touching the tools.
 func RegisterOracleFlags(fs *flag.FlagSet) *OracleFlags {
 	of := &OracleFlags{}
-	fs.StringVar(&of.Name, "oracle", "gpm", "alias oracle: gpm, classic, conservative, klimit")
+	fs.StringVar(&of.Name, "oracle", "gpm", "alias oracle: "+strings.Join(adds.OracleNames(), ", "))
 	fs.IntVar(&of.K, "k", 2, "k for the k-limited oracle")
 	return of
 }
 
-// Kind validates the oracle spelling into its kind; unknown names are a
-// *UsageError.
-func (of *OracleFlags) Kind() (adds.OracleKind, error) {
-	kind, err := adds.ParseOracle(of.Name)
+// Canonical validates the oracle spelling against the registry and returns
+// its canonical name; unknown names are a *UsageError listing the
+// registered oracles.
+func (of *OracleFlags) Canonical() (string, error) {
+	name, err := adds.ParseOracle(of.Name)
 	if err != nil {
-		return 0, &UsageError{Msg: err.Error()}
+		return "", &UsageError{Msg: err.Error()}
 	}
-	return kind, nil
+	return name, nil
 }
 
 // RegisterFormat adds the shared -format flag with the given default and

@@ -56,13 +56,30 @@ func TestOracleFlags(t *testing.T) {
 	if err := fs.Parse([]string{"-oracle", "klimit", "-k", "3"}); err != nil {
 		t.Fatal(err)
 	}
-	kind, err := of.Kind()
-	if err != nil || kind != adds.KLimited || of.K != 3 {
-		t.Fatalf("kind=%v k=%d err=%v", kind, of.K, err)
+	name, err := of.Canonical()
+	if err != nil || name != "klimit" || of.K != 3 {
+		t.Fatalf("name=%q k=%d err=%v", name, of.K, err)
+	}
+	// The legacy alias canonicalizes.
+	of.Name = "klimited"
+	if name, err := of.Canonical(); err != nil || name != "klimit" {
+		t.Fatalf("alias name=%q err=%v", name, err)
 	}
 	of.Name = "psychic"
-	if _, err := of.Kind(); ExitCode(err) != adds.ExitUsage {
+	_, err = of.Canonical()
+	if ExitCode(err) != adds.ExitUsage {
 		t.Errorf("unknown oracle should be a usage error, got %v", err)
+	}
+	// The error enumerates the registry, so new oracles appear without
+	// anyone editing a literal.
+	for _, want := range adds.OracleNames() {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("usage error should list %q: %v", want, err)
+		}
+	}
+	// The flag's usage text derives from the registry too.
+	if u := fs.Lookup("oracle").Usage; !strings.Contains(u, "smg") {
+		t.Errorf("-oracle usage should list registered oracles, got %q", u)
 	}
 }
 

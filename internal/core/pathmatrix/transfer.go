@@ -518,11 +518,20 @@ func (t *transferer) store(m *Matrix, base, field, src, record string) {
 	// to src. Record the composite path when both halves are known paths;
 	// otherwise a Top relation keeps the completeness invariant (two
 	// pointers into one structure always share a recorded relation).
+	//
+	// The merge must run even for pairs that are already related: the new
+	// edge creates a new x → base → field → src → y path the existing
+	// entry knows nothing about. Skipping such pairs (as this code once
+	// did) left stale relations masking the fresh path — the repair-profile
+	// campaign shrank that to a doubly-linked splice where PM(c,b) stayed
+	// empty across `a->next = b` because a junk (b,c) entry from an earlier
+	// join made related(c,b) true, and the analysis went on to refute a
+	// real alias downstream.
 	xs := append(m.relatedVars(base), base)
 	ys := append(m.relatedVars(src), src)
 	for _, x := range xs {
 		for _, y := range ys {
-			if x == y || m.related(x, y) {
+			if x == y {
 				continue
 			}
 			if x == base && y == src {

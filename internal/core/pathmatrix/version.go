@@ -19,7 +19,14 @@ import "sync/atomic"
 // argument (field-path arguments previously escaped the havoc), and call
 // statements carry their callee name. Output changes for multi-function
 // programs, so pre-summary caches must not be replayed.
-const EngineVersion = "gpm-4"
+//
+// gpm-5: the store transfer's structure merge no longer skips pairs that
+// were already related — an existing entry says nothing about the new path
+// through the just-written edge, and the skip let stale relations mask real
+// aliases (soundness bug found by the repair-profile differential campaign;
+// see store in transfer.go). Entries can gain relations, so matrices, wire
+// bodies, and report digests change for programs with re-linking stores.
+const EngineVersion = "gpm-5"
 
 // Stats is a snapshot of engine-wide counters since process start. The
 // counters are monotone and cheap (one atomic add per event) unless noted;

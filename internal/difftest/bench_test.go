@@ -20,9 +20,12 @@ func BenchmarkGenerate(b *testing.B) {
 }
 
 // BenchmarkDiffOne measures one full differential iteration — generation
-// plus all four checks — which bounds campaign throughput (execs/sec).
+// plus all checks — which bounds campaign throughput (execs/sec).
 func BenchmarkDiffOne(b *testing.B) {
-	pr := gen.Profiles()[len(gen.Profiles())-1] // mixed: rotates structures
+	pr, err := gen.ProfileByName("mixed") // rotates structures
+	if err != nil {
+		b.Fatal(err)
+	}
 	cfg := Config{Runs: []int64{2, 3}}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

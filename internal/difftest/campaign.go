@@ -43,6 +43,10 @@ type Report struct {
 	Programs    int            `json:"programs"`
 	ByCheck     map[string]int `json:"byCheck"`
 	Divergences []Divergence   `json:"divergences"`
+	// Deltas tallies the smg check's precision deltas — may-alias
+	// disagreements that are informational, never failures. Deterministic
+	// for a given (seed, budget, profiles, config) whatever the job count.
+	Deltas map[string]int `json:"deltas,omitempty"`
 }
 
 // Run executes the campaign. The returned report orders divergences by
@@ -58,6 +62,10 @@ func (c Campaign) Run(ctx context.Context) (*Report, error) {
 	}
 	if c.Budget < 0 {
 		return nil, fmt.Errorf("negative budget %d", c.Budget)
+	}
+
+	if c.Config.Deltas == nil {
+		c.Config.Deltas = &DeltaCounter{}
 	}
 
 	total := c.Budget
@@ -101,6 +109,7 @@ func (c Campaign) Run(ctx context.Context) (*Report, error) {
 		Budget:   c.Budget,
 		Programs: total,
 		ByCheck:  map[string]int{},
+		Deltas:   c.Config.Deltas.Snapshot(),
 	}
 	for _, pr := range profiles {
 		rep.Profiles = append(rep.Profiles, pr.Name)

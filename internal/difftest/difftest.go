@@ -1,5 +1,5 @@
 // Package difftest is the differential-testing half of the addsfuzz
-// subsystem. For every program the generator emits it orchestrates three
+// subsystem. For every program the generator emits it orchestrates the
 // oracle pairs:
 //
 //  1. soundness — concrete interpreter traces vs. the static alias
@@ -10,10 +10,14 @@
 //     be observationally equivalent on concrete inputs;
 //  3. analysis consistency — the path-matrix engine must produce identical
 //     results regardless of worker count (the hash-consed parallel engine
-//     vs. the sequential path).
+//     vs. the sequential path);
+//  4. smg — the SMG-lite oracle vs. the path-matrix oracle: a must-alias
+//     either derives that the other refutes is always a fatal bug in one of
+//     them, while bare may-alias disagreements are precision deltas,
+//     counted (Config.Deltas) but never failures.
 //
-// A fourth, cheaper check runs the addslint validation over every
-// generated program: lint coverage on inputs no human would write.
+// A cheaper check runs the addslint validation over every generated
+// program: lint coverage on inputs no human would write.
 //
 // Failures are classified as Divergences, content-addressed with the same
 // SHA-256 scheme as internal/service, and delta-debugged down to minimal
@@ -25,9 +29,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/alias"
 	"repro/internal/alias/klimit"
+	"repro/internal/alias/smg"
 	"repro/internal/core/pathmatrix"
 	"repro/internal/gen"
 	"repro/internal/interp"
@@ -45,6 +51,7 @@ const (
 	CheckSoundness   = "soundness"
 	CheckXform       = "xform"
 	CheckConsistency = "consistency"
+	CheckSMG         = "smg"
 )
 
 // noCancel is the context for in-process analyses that are bounded by
@@ -53,7 +60,7 @@ var noCancel = context.Background()
 
 // AllChecks returns every check name in canonical order.
 func AllChecks() []string {
-	return []string{CheckLint, CheckSoundness, CheckXform, CheckConsistency}
+	return []string{CheckLint, CheckSoundness, CheckXform, CheckConsistency, CheckSMG}
 }
 
 // Config tunes one differential run.
@@ -74,6 +81,46 @@ type Config struct {
 	// ShrinkBudget caps shrinker check executions per divergence
 	// (0 = 400).
 	ShrinkBudget int
+	// Deltas, when set, accumulates precision deltas from the smg check:
+	// program points where one oracle admits a may-alias the other refutes.
+	// Deltas are triage signal, never failures — only must-alias conflicts
+	// fail the check.
+	Deltas *DeltaCounter
+}
+
+// DeltaCounter tallies precision deltas by kind, safely across campaign
+// workers. The keys name which oracle was the permissive one
+// ("smg_may_only", "gpm_may_only").
+type DeltaCounter struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+// Add increments one delta kind.
+func (d *DeltaCounter) Add(key string, n int) {
+	if n == 0 {
+		return
+	}
+	d.mu.Lock()
+	if d.counts == nil {
+		d.counts = map[string]int{}
+	}
+	d.counts[key] += n
+	d.mu.Unlock()
+}
+
+// Snapshot copies the tallies (nil when nothing was counted).
+func (d *DeltaCounter) Snapshot() map[string]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.counts) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(d.counts))
+	for k, v := range d.counts {
+		out[k] = v
+	}
+	return out
 }
 
 func (c Config) runs() []int64 {
@@ -169,6 +216,8 @@ func checkFn(name string) func(*gen.Program, Config) string {
 		return checkXform
 	case CheckConsistency:
 		return checkConsistency
+	case CheckSMG:
+		return checkSMG
 	}
 	return nil
 }
@@ -302,6 +351,7 @@ func checkSoundness(p *gen.Program, cfg Config) string {
 		alias.NewClassicWith(g, info.Env, classicTab),
 		alias.NewConservative(g),
 		klimit.Analyze(g, info.Env, 2),
+		smg.Analyze(g, info.Env),
 	}
 	if cfg.WrapOracle != nil {
 		for i, o := range oracles {
@@ -377,4 +427,84 @@ func checkConsistency(p *gen.Program, cfg Config) string {
 		}
 	}
 	return ""
+}
+
+// ---------------------------------------------------------------------------
+// Check 5: smg (SMG-lite vs. path matrices — cross-domain differential)
+
+// checkSMG runs the GPM and SMG-lite oracles over the same function and
+// compares every unordered pointer-variable pair at every statement node the
+// SMG analysis reached. The two domains approximate the heap completely
+// differently (declared path relations vs. segment summaries), so the triage
+// policy is asymmetric:
+//
+//   - a must-alias one oracle derives that the other refutes outright
+//     (must on one side, no may on the other) is a fatal divergence —
+//     whichever direction it goes, one of the two analyses is unsound.
+//     The one exemption is definitional, not a precision gap: the path
+//     matrix's must-alias means "same value", which both variables being
+//     NULL satisfies, while SMG aliasing is about shared non-nil objects —
+//     so a GPM must-alias only contradicts an SMG may-refutation when the
+//     SMG shows the common value cannot be nil;
+//   - a bare may-alias disagreement is an expected precision delta (each
+//     domain refutes pairs the other cannot) and is only counted into
+//     Config.Deltas, keyed by which oracle was the permissive one.
+func checkSMG(p *gen.Program, cfg Config) string {
+	_, info, msg := load(p)
+	if msg != "" {
+		return msg
+	}
+	fi := info.Func(p.Entry())
+	if fi == nil {
+		return "" // entry shrunk away: nothing to check
+	}
+	g := norm.Build(fi, info.Env)
+	var gpmTab *pathmatrix.SummaryTable
+	if pathmatrix.Summarize {
+		gpmTab = pathmatrix.ComputeSummaries(info, info.Env)
+	}
+	// WrapOracle wraps the path-matrix side only: the SMG side must stay the
+	// concrete analysis because the triage consults its MayBeNil refinement.
+	var gpm alias.Oracle = alias.NewGPMWith(g, info.Env, gpmTab)
+	if cfg.WrapOracle != nil {
+		gpm = cfg.WrapOracle(gpm)
+	}
+	sm := smg.Analyze(g, info.Env)
+
+	vars := fi.PointerVars()
+	var fatal []string
+	smgMayOnly, gpmMayOnly := 0, 0
+	for _, n := range g.Nodes {
+		if n.Kind != norm.NodeStmt || sm.Before[n.ID] == nil {
+			continue
+		}
+		for i, a := range vars {
+			for _, b := range vars[i+1:] {
+				sMay, gMay := sm.MayAlias(n, a, b), gpm.MayAlias(n, a, b)
+				switch {
+				case sm.MustAlias(n, a, b) && !gMay:
+					fatal = append(fatal, fmt.Sprintf(
+						"smg: smg derives must-alias %s==%s before node %d but gpm refutes may", a, b, n.ID))
+				case gpm.MustAlias(n, a, b) && !sMay && !(sm.MayBeNil(n, a) && sm.MayBeNil(n, b)):
+					// Same value per GPM, no shared object per SMG, and the
+					// vacuous both-NULL valuation is ruled out: contradiction.
+					fatal = append(fatal, fmt.Sprintf(
+						"smg: gpm derives must-alias %s==%s before node %d but smg refutes may", a, b, n.ID))
+				case sMay && !gMay:
+					smgMayOnly++
+				case gMay && !sMay:
+					gpmMayOnly++
+				}
+			}
+		}
+	}
+	if cfg.Deltas != nil {
+		cfg.Deltas.Add("smg_may_only", smgMayOnly)
+		cfg.Deltas.Add("gpm_may_only", gpmMayOnly)
+	}
+	if len(fatal) == 0 {
+		return ""
+	}
+	sort.Strings(fatal)
+	return fatal[0]
 }

@@ -72,6 +72,100 @@ func TestInjectedBugCaughtAndShrunk(t *testing.T) {
 	}
 }
 
+// TestSMGCheckCatchesPlantedBug: drop one pair's may-alias answer from the
+// path-matrix oracle; wherever the SMG derives a must-alias for that pair
+// the smg cross-check must flag a fatal divergence (must on one side, no
+// may on the other is never a precision delta).
+func TestSMGCheckCatchesPlantedBug(t *testing.T) {
+	cfg := Config{
+		Checks:     []string{CheckSMG},
+		WrapOracle: func(o alias.Oracle) alias.Oracle { return dropOracle{Oracle: o, p: "b", q: "c"} },
+	}
+	pr, err := gen.ProfileByName("list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh region copied into both variables: the SMG derives
+	// must-alias(b, c), which the planted drop of gpm's may answer turns
+	// into a fatal cross-domain conflict.
+	p := gen.Generate(1, pr).WithStmts([]gen.Stmt{
+		{Head: []string{"b = new TwoWayLL;"}},
+		{Head: []string{"c = b;"}},
+		{Head: []string{"d = c;"}},
+	})
+	detail := checkSMG(p, cfg)
+	if detail == "" {
+		t.Fatal("planted path-matrix bug did not conflict with the SMG must-alias")
+	}
+	if !strings.Contains(detail, "but gpm refutes may") {
+		t.Fatalf("detail does not describe the must/may conflict:\n%s", detail)
+	}
+}
+
+// TestSMGCheckCountsDeltas: on a healthy tree the hostile profiles run the
+// smg check clean while producing may-alias disagreements in both
+// directions — those land in the counter, never in the divergence list.
+func TestSMGCheckCountsDeltas(t *testing.T) {
+	deltas := &DeltaCounter{}
+	cfg := Config{Checks: []string{CheckSMG}, Deltas: deltas}
+	for _, name := range []string{"ptree", "skiplist", "ringlol", "repair"} {
+		pr, err := gen.ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 10; seed++ {
+			for _, d := range DiffOne(seed, pr, cfg) {
+				t.Fatalf("profile %s seed %d: %s", name, seed, d.Detail)
+			}
+		}
+	}
+	snap := deltas.Snapshot()
+	if snap["smg_may_only"]+snap["gpm_may_only"] == 0 {
+		t.Fatal("forty hostile programs produced no precision deltas")
+	}
+}
+
+// TestCampaignReportsDeltas: the campaign plumbs the delta counter through
+// to the report even when the caller did not provide one.
+func TestCampaignReportsDeltas(t *testing.T) {
+	c := Campaign{
+		Seed:     3,
+		Budget:   12,
+		Profiles: []string{"skiplist", "repair"},
+		Config:   Config{Checks: []string{CheckSMG}},
+	}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) != 0 {
+		t.Fatalf("hostile profiles diverged: %+v", rep.Divergences[0])
+	}
+	if len(rep.Deltas) == 0 {
+		t.Fatal("campaign report carries no precision deltas")
+	}
+}
+
+// TestShrinkHostileProfiles: the shrinker's statement model covers the new
+// grammars — the multi-statement splice and promotion idioms unwrap, so a
+// predicate on one seeded statement shrinks to exactly that statement.
+func TestShrinkHostileProfiles(t *testing.T) {
+	for _, name := range []string{"ptree", "skiplist", "ringlol", "repair"} {
+		pr, err := gen.ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := gen.Generate(5, pr)
+		failing := func(q *gen.Program) bool {
+			return bytes.Contains(q.Source(), []byte("b = a;"))
+		}
+		min := Shrink(p, failing, 0)
+		if min.NumStmts() != 1 {
+			t.Errorf("%s: shrunk to %d statements, want 1:\n%s", name, min.NumStmts(), min.Source())
+		}
+	}
+}
+
 // TestShrinkToSingleStatement: a predicate satisfied by one specific
 // statement must shrink to exactly that statement.
 func TestShrinkToSingleStatement(t *testing.T) {

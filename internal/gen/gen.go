@@ -6,6 +6,13 @@
 // mutations that temporarily or permanently break the declared abstraction
 // and insertion idioms that break and then repair it.
 //
+// Beyond the paper's structures, the hostile profiles target the corners
+// where segment-summarizing analyses are weakest: threaded parent-pointer
+// trees (an undeclared cross-link field), skip lists (two forward fields at
+// distinct levels), doubly-linked circular lists of lists, and a
+// repair-weighted two-way-list grammar whose programs are mostly
+// break-then-repair splice/unlink sequences.
+//
 // Generation is fully deterministic: one seed plus one Profile yields one
 // byte-identical program, so every failure a downstream harness finds
 // reproduces from its seed alone. Programs keep their statement structure
@@ -24,9 +31,10 @@ import (
 type Profile struct {
 	// Name identifies the profile in reports and corpus metadata.
 	Name string
-	// Structure is the record type generated programs shuffle ("TwoWayLL",
-	// "PBinTree", "CirL", "LOLS"). Empty means rotate per seed across all
-	// structures (the "mixed" profile).
+	// Structure is the record type generated programs shuffle (any name
+	// from Structures). Empty means rotate per seed across the paper's four
+	// structures (the "mixed" profile; the rotation list is pinned so mixed
+	// programs stay byte-stable as structures are added).
 	Structure string
 	// MinStmts/MaxStmts bound the number of top-level statements in the
 	// fuzzed function's body.
@@ -44,6 +52,11 @@ type Profile struct {
 	// summary instantiation path, the write-set taint, and the recursive
 	// fallback against the interpreter and the havoc-only oracles.
 	Calls bool
+	// Repair reweights the TwoWayLL grammar toward break-then-repair
+	// sequences: most statements become splice or unlink idioms whose
+	// intermediate states violate the two-way invariant, with reads and
+	// walks interleaved so oracles are queried mid-repair.
+	Repair bool
 }
 
 // Profiles returns the built-in profiles, in a stable order.
@@ -56,6 +69,10 @@ func Profiles() []Profile {
 		{Name: "readonly", Structure: "", MinStmts: 6, MaxStmts: 16, Mutate: false},
 		{Name: "mixed", Structure: "", MinStmts: 6, MaxStmts: 16, Mutate: true},
 		{Name: "calls", Structure: "", MinStmts: 6, MaxStmts: 16, Mutate: true, Calls: true},
+		{Name: "ptree", Structure: "ThreadTree", MinStmts: 6, MaxStmts: 16, Mutate: true},
+		{Name: "skiplist", Structure: "SkipL", MinStmts: 6, MaxStmts: 16, Mutate: true},
+		{Name: "ringlol", Structure: "CirLOL", MinStmts: 6, MaxStmts: 14, Mutate: true},
+		{Name: "repair", Structure: "TwoWayLL", MinStmts: 6, MaxStmts: 16, Mutate: true, Repair: true},
 	}
 }
 

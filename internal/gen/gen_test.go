@@ -2,8 +2,10 @@ package gen
 
 import (
 	"bytes"
+	"regexp"
 	"testing"
 
+	"repro/internal/shape"
 	"repro/internal/source/parser"
 	"repro/internal/source/types"
 )
@@ -85,6 +87,113 @@ func containsPtrStore(line string) bool {
 		return false // comparison or deref on the RHS only
 	}
 	return !bytes.Contains([]byte(line[:eq]), []byte("->data"))
+}
+
+// checkedType generates one program for the profile, type-checks it, and
+// returns the checked shape model of its structure — the metadata the
+// property tests assert against (never the source text).
+func checkedType(t *testing.T, profile string) *shape.Type {
+	t.Helper()
+	pr, err := ProfileByName(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Generate(1, pr)
+	prog, err := parser.Parse(p.Source())
+	if err != nil {
+		t.Fatalf("profile %s: parse: %v", profile, err)
+	}
+	info, errs := types.Check(prog)
+	if len(errs) > 0 {
+		t.Fatalf("profile %s: check: %v", profile, errs[0])
+	}
+	ty := info.Env.Types[p.TypeName]
+	if ty == nil {
+		t.Fatalf("profile %s: type %s missing from shape env", profile, p.TypeName)
+	}
+	return ty
+}
+
+// TestSkipListShapeMetadata: the skip-list structure really advertises what
+// the profile promises — at least two forward link fields, at distinct
+// dimensions.
+func TestSkipListShapeMetadata(t *testing.T) {
+	ty := checkedType(t, "skiplist")
+	fwdDims := map[string]bool{}
+	for _, f := range ty.Fields {
+		if f.Dir == shape.Forward || f.Dir == shape.UniquelyForward {
+			fwdDims[f.Dim] = true
+		}
+	}
+	if len(fwdDims) < 2 {
+		t.Fatalf("skip list needs >=2 forward fields at distinct dimensions, got dims %v", fwdDims)
+	}
+}
+
+// TestThreadedTreeShapeMetadata: the threaded tree carries a combined
+// uniquely-forward group, a backward parent along the same dimension, and
+// an undeclared (unknown-direction) thread field.
+func TestThreadedTreeShapeMetadata(t *testing.T) {
+	ty := checkedType(t, "ptree")
+	l, r := ty.Field("left"), ty.Field("right")
+	if l == nil || r == nil || l.Group < 0 || l.Group != r.Group {
+		t.Fatalf("left/right must form one combined group, got %+v and %+v", l, r)
+	}
+	if l.Dir != shape.UniquelyForward || r.Dir != shape.UniquelyForward {
+		t.Fatalf("combined group must be uniquely forward, got %v/%v", l.Dir, r.Dir)
+	}
+	par := ty.Field("parent")
+	if par == nil || par.Dir != shape.Backward || par.Dim != l.Dim {
+		t.Fatalf("parent must be backward along the group's dimension, got %+v", par)
+	}
+	th := ty.Field("thread")
+	if th == nil || th.Dir != shape.Unknown {
+		t.Fatalf("thread must carry no ADDS clause (unknown direction), got %+v", th)
+	}
+}
+
+// TestRingLOLShapeMetadata: the circular list of lists is circular in both
+// directions along one dimension and a two-way list along an independent
+// one.
+func TestRingLOLShapeMetadata(t *testing.T) {
+	ty := checkedType(t, "ringlol")
+	next, prev := ty.Field("next"), ty.Field("prev")
+	if next == nil || prev == nil || next.Dir != shape.Circular || prev.Dir != shape.Circular || next.Dim != prev.Dim {
+		t.Fatalf("next/prev must both be circular along one dimension, got %+v and %+v", next, prev)
+	}
+	down, up := ty.Field("down"), ty.Field("up")
+	if down == nil || up == nil || down.Dir != shape.UniquelyForward || up.Dir != shape.Backward || down.Dim != up.Dim {
+		t.Fatalf("down/up must be a forward/backward pair along one dimension, got %+v and %+v", down, up)
+	}
+	if !ty.Independent(next.Dim, down.Dim) {
+		t.Fatalf("dimensions %s and %s must be declared independent", next.Dim, down.Dim)
+	}
+}
+
+// TestRepairProfileEmitsRepairIdioms: the repair profile's weighted grammar
+// actually produces both halves of the break-then-repair pattern — splices
+// (a ->prev back-link repair on plain variables) and unlinks (the
+// double-guarded successor removal) — across a modest seed range.
+func TestRepairProfileEmitsRepairIdioms(t *testing.T) {
+	pr, err := ProfileByName("repair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spliceRE := regexp.MustCompile(`(?m)^\s+[a-d]->prev = [a-d];$`)
+	unlinkRE := regexp.MustCompile(`(?m)^\s+if \([a-d] != NULL && [a-d]->next != NULL\) \{$`)
+	splices, unlinks := 0, 0
+	for seed := int64(0); seed < 50; seed++ {
+		src := Generate(seed, pr).Source()
+		if spliceRE.Match(src) {
+			splices++
+		}
+		if unlinkRE.Match(src) {
+			unlinks++
+		}
+	}
+	if splices == 0 || unlinks == 0 {
+		t.Fatalf("repair idioms missing over 50 seeds: splices=%d unlinks=%d", splices, unlinks)
+	}
 }
 
 // TestWithStmtsRerenders: the shrinker's step function produces a program

@@ -197,8 +197,55 @@ func insertList(rng *rand.Rand) Stmt {
 	}
 }
 
+// unlinkList is the deletion half of the repair idioms: remove the node
+// after base, re-linking next and then prev. Between the two stores the
+// removed node's prev still points into the list — backward is broken
+// exactly while forward is already repaired.
+func unlinkList(rng *rand.Rand) Stmt {
+	base := pickVar(rng)
+	tmp := pickVar(rng)
+	if tmp == base {
+		tmp = "d"
+	}
+	if tmp == base {
+		tmp = "c"
+	}
+	return Stmt{
+		Head: []string{fmt.Sprintf("if (%s != NULL && %s->next != NULL) {", base, base)},
+		Body: []Stmt{
+			simple(fmt.Sprintf("%s = %s->next;", tmp, base)),
+			simple(fmt.Sprintf("%s->next = %s->next;", base, tmp)),
+			{
+				Head: []string{fmt.Sprintf("if (%s->next != NULL) {", base)},
+				Body: []Stmt{simple(fmt.Sprintf("%s->next->prev = %s;", base, base))},
+				Tail: "}",
+			},
+		},
+		Tail: "}",
+	}
+}
+
 func emitList(rng *rand.Rand, pr Profile) Stmt {
 	fields := []string{"next", "prev"}
+	if pr.Repair {
+		// The repair profile trades breadth for depth: half the draws are
+		// splice or unlink sequences, the rest are the reads and walks that
+		// query oracles against the mid-repair heap.
+		switch rng.Intn(8) {
+		case 0:
+			return copyStmt(rng)
+		case 1:
+			return derefStmt(rng, fields)
+		case 2:
+			return walkStmt(rng, fields)
+		case 3:
+			return newStmt(rng, "TwoWayLL")
+		case 4, 5:
+			return insertList(rng)
+		default:
+			return unlinkList(rng)
+		}
+	}
 	max := 7
 	if pr.Mutate {
 		max = 10
@@ -473,12 +520,337 @@ func emitLols(rng *rand.Rand, pr Profile) Stmt {
 }
 
 // ---------------------------------------------------------------------------
+// ThreadTree (parent-pointer tree with an undeclared threading cross-link)
+
+// The thread field carries no ADDS clause, so its direction is unknown: the
+// builder strings it across subtrees (each node threads to an ancestor's
+// thread), giving the analyses a field the declaration says nothing about
+// next to a fully declared combined group.
+const ptreeDecl = `type ThreadTree [down] {
+    int data;
+    ThreadTree *left, *right is uniquely forward along down;
+    ThreadTree *parent is backward along down;
+    ThreadTree *thread;
+};
+`
+
+const ptreeBuilder = `void grow(ThreadTree *t, int d) {
+    ThreadTree *l, *r;
+    if (d > 0) {
+        l = new ThreadTree;
+        l->data = d;
+        t->left = l;
+        l->parent = t;
+        l->thread = t;
+        grow(l, d - 1);
+        r = new ThreadTree;
+        r->data = d;
+        t->right = r;
+        r->parent = t;
+        r->thread = t->thread;
+        grow(r, d - 1);
+    }
+}
+`
+
+const ptreeMain = `int main(int n) {
+    ThreadTree *root;
+    root = new ThreadTree;
+    root->data = 0;
+    grow(root, n);
+    fuzzed(root);
+    return 0;
+}
+`
+
+// attachThreaded grows a fresh leaf under base with its parent back-link,
+// then threads it to the inherited cross-link — the combined-group mutation
+// of attachLeaf plus an undeclared-field alias.
+func attachThreaded(rng *rand.Rand) Stmt {
+	base := pickVar(rng)
+	tmp := pickVar(rng)
+	if tmp == base {
+		tmp = "d"
+	}
+	if tmp == base {
+		tmp = "c"
+	}
+	child := pickOf(rng, []string{"left", "right"})
+	return Stmt{
+		Head: []string{fmt.Sprintf("if (%s != NULL && %s->%s == NULL) {", base, base, child)},
+		Body: []Stmt{
+			simple(fmt.Sprintf("%s = new ThreadTree;", tmp)),
+			simple(fmt.Sprintf("%s->%s = %s;", base, child, tmp)),
+			simple(fmt.Sprintf("%s->parent = %s;", tmp, base)),
+			simple(fmt.Sprintf("%s->thread = %s->thread;", tmp, base)),
+		},
+		Tail: "}",
+	}
+}
+
+func emitPTree(rng *rand.Rand, pr Profile) Stmt {
+	walk := []string{"left", "right", "thread"}
+	all := []string{"left", "right", "parent", "thread"}
+	max := 7
+	if pr.Mutate {
+		max = 10
+	}
+	switch rng.Intn(max) {
+	case 0:
+		return copyStmt(rng)
+	case 1:
+		return nullStmt(rng)
+	case 2:
+		return newStmt(rng, "ThreadTree")
+	case 3, 4:
+		return derefStmt(rng, all)
+	case 5:
+		return dataStmt(rng)
+	case 6:
+		return walkStmt(rng, walk)
+	case 7, 8:
+		return storeStmt(rng, all)
+	default:
+		return attachThreaded(rng)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SkipL (two-level skip list: forward fields at distinct dimensions)
+
+const skipDecl = `type SkipL [L0] [L1] {
+    int data;
+    SkipL *next0 is uniquely forward along L0;
+    SkipL *next1 is forward along L1;
+};
+`
+
+// The express lane links every third node, so next1 hops over next0 runs —
+// the lane structure segment summaries tend to collapse.
+const skipBuilder = `void build(SkipL *hd, int n) {
+    SkipL *tail, *top, *node;
+    int k, j;
+    tail = hd;
+    top = hd;
+    j = 0;
+    k = 1;
+    while (k < n) {
+        node = new SkipL;
+        node->data = k;
+        tail->next0 = node;
+        tail = node;
+        j = j + 1;
+        if (j > 1) {
+            top->next1 = node;
+            top = node;
+            j = 0;
+        }
+        k = k + 1;
+    }
+}
+`
+
+const skipMain = `int main(int n) {
+    SkipL *root;
+    root = new SkipL;
+    root->data = 0;
+    build(root, n);
+    fuzzed(root);
+    return 0;
+}
+`
+
+// descendSkip is the search step: ride the express lane while it lasts,
+// drop to the base lane otherwise — a bounded walk that mixes the levels.
+func descendSkip(rng *rand.Rand) Stmt {
+	v := pickVar(rng)
+	return Stmt{
+		Head: []string{
+			fmt.Sprintf("i = %d;", rng.Intn(4)+1),
+			fmt.Sprintf("while (i > 0 && %s != NULL) {", v),
+		},
+		Body: []Stmt{
+			{
+				Head: []string{fmt.Sprintf("if (%s->next1 != NULL) {", v)},
+				Body: []Stmt{simple(fmt.Sprintf("%s = %s->next1;", v, v))},
+				Tail: "}",
+			},
+			{
+				Head: []string{fmt.Sprintf("if (%s != NULL) {", v)},
+				Body: []Stmt{simple(fmt.Sprintf("%s = %s->next0;", v, v))},
+				Tail: "}",
+			},
+			simple("i = i - 1;"),
+		},
+		Tail: "}",
+	}
+}
+
+// promoteSkip lifts a base-lane successor into the express lane — a
+// level-crossing store that makes next1 skip past fresh next0 nodes.
+func promoteSkip(rng *rand.Rand) Stmt {
+	base := pickVar(rng)
+	tmp := pickVar(rng)
+	if tmp == base {
+		tmp = "d"
+	}
+	if tmp == base {
+		tmp = "c"
+	}
+	return Stmt{
+		Head: []string{fmt.Sprintf("if (%s != NULL && %s->next0 != NULL) {", base, base)},
+		Body: []Stmt{
+			simple(fmt.Sprintf("%s = %s->next0;", tmp, base)),
+			simple(fmt.Sprintf("%s->next1 = %s->next0;", base, tmp)),
+		},
+		Tail: "}",
+	}
+}
+
+func emitSkip(rng *rand.Rand, pr Profile) Stmt {
+	fields := []string{"next0", "next1"}
+	max := 7
+	if pr.Mutate {
+		max = 10
+	}
+	switch rng.Intn(max) {
+	case 0:
+		return copyStmt(rng)
+	case 1:
+		return nullStmt(rng)
+	case 2:
+		return newStmt(rng, "SkipL")
+	case 3, 4:
+		return derefStmt(rng, fields)
+	case 5:
+		return dataStmt(rng)
+	case 6:
+		return descendSkip(rng)
+	case 7, 8:
+		return storeStmt(rng, fields)
+	default:
+		return promoteSkip(rng)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// CirLOL (doubly-linked circular list of lists, where X || Y)
+
+const cirLolDecl = `type CirLOL [X] [Y] where X || Y {
+    int data;
+    CirLOL *next is circular along X;
+    CirLOL *prev is circular along X;
+    CirLOL *down is uniquely forward along Y;
+    CirLOL *up is backward along Y;
+};
+`
+
+const cirLolBuilder = `void rung(CirLOL *hd, int n) {
+    CirLOL *cur, *node;
+    int k;
+    cur = hd;
+    k = 1;
+    while (k < n) {
+        node = new CirLOL;
+        node->data = k;
+        cur->down = node;
+        node->up = cur;
+        cur = node;
+        k = k + 1;
+    }
+}
+void build(CirLOL *first, int n) {
+    CirLOL *cur, *node;
+    int k;
+    rung(first, n);
+    cur = first;
+    k = 1;
+    while (k < n) {
+        node = new CirLOL;
+        node->data = k;
+        rung(node, n);
+        cur->next = node;
+        node->prev = cur;
+        cur = node;
+        k = k + 1;
+    }
+    cur->next = first;
+    first->prev = cur;
+}
+`
+
+const cirLolMain = `int main(int n) {
+    CirLOL *root;
+    root = new CirLOL;
+    root->data = 0;
+    build(root, n);
+    fuzzed(root);
+    return 0;
+}
+`
+
+// spliceRingLOL splices a fresh node into the ring after base, repairing
+// both circular links; between the stores the ring is inconsistent in both
+// directions at once.
+func spliceRingLOL(rng *rand.Rand) Stmt {
+	base := pickVar(rng)
+	tmp := pickVar(rng)
+	if tmp == base {
+		tmp = "d"
+	}
+	if tmp == base {
+		tmp = "c"
+	}
+	return Stmt{
+		Head: []string{fmt.Sprintf("if (%s != NULL && %s->next != NULL) {", base, base)},
+		Body: []Stmt{
+			simple(fmt.Sprintf("%s = new CirLOL;", tmp)),
+			simple(fmt.Sprintf("%s->next = %s->next;", tmp, base)),
+			simple(fmt.Sprintf("%s->prev = %s;", tmp, base)),
+			simple(fmt.Sprintf("%s->next->prev = %s;", base, tmp)),
+			simple(fmt.Sprintf("%s->next = %s;", base, tmp)),
+		},
+		Tail: "}",
+	}
+}
+
+func emitCirLol(rng *rand.Rand, pr Profile) Stmt {
+	fwd := []string{"next", "down"}
+	all := []string{"next", "prev", "down", "up"}
+	max := 7
+	if pr.Mutate {
+		max = 10
+	}
+	switch rng.Intn(max) {
+	case 0:
+		return copyStmt(rng)
+	case 1:
+		return nullStmt(rng)
+	case 2:
+		return newStmt(rng, "CirLOL")
+	case 3, 4:
+		return derefStmt(rng, all)
+	case 5:
+		return dataStmt(rng)
+	case 6:
+		return walkStmt(rng, fwd)
+	case 7, 8:
+		return storeStmt(rng, all)
+	default:
+		return spliceRingLOL(rng)
+	}
+}
+
+// ---------------------------------------------------------------------------
 
 var specs = map[string]*structureSpec{
-	"TwoWayLL": {typeName: "TwoWayLL", decl: twoWayDecl, builder: twoWayBuilder, mainSrc: twoWayMain, emit: emitList, callFwd: "next", callBack: "prev"},
-	"PBinTree": {typeName: "PBinTree", decl: treeDecl, builder: treeBuilder, mainSrc: treeMain, emit: emitTree, callFwd: "left", callBack: "parent"},
-	"CirL":     {typeName: "CirL", decl: cirDecl, builder: cirBuilder, mainSrc: cirMain, emit: emitCir, callFwd: "next"},
-	"LOLS":     {typeName: "LOLS", decl: lolsDecl, builder: lolsBuilder, mainSrc: lolsMain, emit: emitLols, callFwd: "down", callBack: "up"},
+	"TwoWayLL":   {typeName: "TwoWayLL", decl: twoWayDecl, builder: twoWayBuilder, mainSrc: twoWayMain, emit: emitList, callFwd: "next", callBack: "prev"},
+	"PBinTree":   {typeName: "PBinTree", decl: treeDecl, builder: treeBuilder, mainSrc: treeMain, emit: emitTree, callFwd: "left", callBack: "parent"},
+	"CirL":       {typeName: "CirL", decl: cirDecl, builder: cirBuilder, mainSrc: cirMain, emit: emitCir, callFwd: "next"},
+	"LOLS":       {typeName: "LOLS", decl: lolsDecl, builder: lolsBuilder, mainSrc: lolsMain, emit: emitLols, callFwd: "down", callBack: "up"},
+	"ThreadTree": {typeName: "ThreadTree", decl: ptreeDecl, builder: ptreeBuilder, mainSrc: ptreeMain, emit: emitPTree, callFwd: "left", callBack: "parent"},
+	"SkipL":      {typeName: "SkipL", decl: skipDecl, builder: skipBuilder, mainSrc: skipMain, emit: emitSkip, callFwd: "next0"},
+	"CirLOL":     {typeName: "CirLOL", decl: cirLolDecl, builder: cirLolBuilder, mainSrc: cirLolMain, emit: emitCirLol, callFwd: "down", callBack: "up"},
 }
 
 func specFor(name string) *structureSpec {
@@ -489,7 +861,8 @@ func specFor(name string) *structureSpec {
 	return s
 }
 
-// Structures lists the structure names Generate can produce.
+// Structures lists the structure names Generate can produce: the paper's
+// four, then the hostile additions.
 func Structures() []string {
-	return []string{"TwoWayLL", "PBinTree", "CirL", "LOLS"}
+	return []string{"TwoWayLL", "PBinTree", "CirL", "LOLS", "ThreadTree", "SkipL", "CirLOL"}
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/alias/smg"
 	"repro/internal/core/pathmatrix"
 )
 
@@ -414,4 +415,15 @@ func (m *Metrics) WriteProm(w io.Writer, cacheLen, poolInUse, poolCap, queued, q
 	fmt.Fprintf(w, "addsd_engine_summary_applied_total %d\n", es.SummaryApplied)
 	fmt.Fprintf(w, "# TYPE addsd_engine_summary_fallbacks_total counter\n")
 	fmt.Fprintf(w, "addsd_engine_summary_fallbacks_total %d\n", es.SummaryFallbacks)
+
+	ss := smg.ReadStats()
+	fmt.Fprintf(w, "# HELP addsd_engine_smg_analyses_total Completed SMG-lite analyses (process-wide).\n")
+	fmt.Fprintf(w, "# TYPE addsd_engine_smg_analyses_total counter\n")
+	fmt.Fprintf(w, "addsd_engine_smg_analyses_total %d\n", ss.Analyses)
+	fmt.Fprintf(w, "# TYPE addsd_engine_smg_nodes_total counter\n")
+	fmt.Fprintf(w, "addsd_engine_smg_nodes_total %d\n", ss.Nodes)
+	fmt.Fprintf(w, "# TYPE addsd_engine_smg_segments_total counter\n")
+	fmt.Fprintf(w, "addsd_engine_smg_segments_total %d\n", ss.Segments)
+	fmt.Fprintf(w, "# TYPE addsd_engine_smg_materializations_total counter\n")
+	fmt.Fprintf(w, "addsd_engine_smg_materializations_total %d\n", ss.Materializations)
 }

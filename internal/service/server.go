@@ -158,6 +158,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/reanalyze", s.handleReanalyze)
 	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	s.mux.HandleFunc("GET /v1/oracles", s.handleOracleList)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("POST /analyze", legacy(s.handleAnalyze))
 	s.mux.HandleFunc("POST /depgraph", legacy(s.handleDepgraph))
@@ -428,6 +429,8 @@ func endpointLabel(path string) string {
 		return "reanalyze"
 	case p == "/experiments" || strings.HasPrefix(p, "/experiments/"):
 		return "experiments"
+	case p == "/oracles":
+		return "oracles"
 	case strings.HasPrefix(p, "/cache/"):
 		return "cache"
 	case path == "/healthz":
@@ -709,6 +712,19 @@ func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
 		defs = append(defs, ExperimentDef{ID: d.ID, Title: d.Title})
 	}
 	writeJSON(w, http.StatusOK, defs)
+}
+
+// handleOracleList answers GET /v1/oracles with the alias-oracle registry,
+// in registry (rank) order — the same list the -oracle flag accepts and the
+// analyze/depgraph "oracle" field validates against. The rows derive from
+// the registry, so a newly registered oracle appears here without a server
+// change.
+func (s *Server) handleOracleList(w http.ResponseWriter, _ *http.Request) {
+	infos := []OracleInfo{}
+	for _, o := range adds.Oracles() {
+		infos = append(infos, OracleInfo{Name: o.Name, Description: o.Description, AcceptsK: o.NeedsK})
+	}
+	writeJSON(w, http.StatusOK, infos)
 }
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {

@@ -400,6 +400,36 @@ func TestExperimentEndpoints(t *testing.T) {
 	}
 }
 
+// TestOracleListPinned pins GET /v1/oracles byte-for-byte: the rows come
+// from the registry in rank order, so this golden is the contract that new
+// oracles append (never reorder) and existing descriptions hold still.
+func TestOracleListPinned(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/oracles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"name":"gpm","description":"general path matrix analysis with ADDS declarations (the paper's analysis; default)","acceptsK":false},` +
+		`{"name":"classic","description":"path matrix analysis with the ADDS declarations stripped","acceptsK":false},` +
+		`{"name":"conservative","description":"worst-case baseline: same-type pointers may always alias","acceptsK":false},` +
+		`{"name":"klimit","description":"k-limited storage graphs (Jones & Muchnick); -k bounds per-site materialization","acceptsK":true},` +
+		`{"name":"smg","description":"SMG-lite symbolic memory graphs (Predator-style segments with materialization)","acceptsK":false}]` + "\n"
+	if string(data) != want {
+		t.Errorf("/v1/oracles body drifted:\n got %s\nwant %s", data, want)
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -440,6 +470,10 @@ func TestMetricsScrape(t *testing.T) {
 		"addsd_inflight_requests",
 		"addsd_request_duration_seconds_count 2",
 		"addsd_engine_analyses_total",
+		"addsd_engine_smg_analyses_total",
+		"addsd_engine_smg_nodes_total",
+		"addsd_engine_smg_segments_total",
+		"addsd_engine_smg_materializations_total",
 		"addsd_pool_capacity",
 		"addsd_shed_total 0",
 		"addsd_queue_depth 0",
@@ -494,6 +528,7 @@ func TestEndpointLabelBounded(t *testing.T) {
 		"/v1/pipeline":       "pipeline",
 		"/v1/experiments":    "experiments",
 		"/v1/experiments/E4": "experiments",
+		"/v1/oracles":        "oracles",
 		"/healthz":           "healthz",
 		"/metrics":           "metrics",
 		"/debug/pprof/heap":  "pprof",

@@ -69,6 +69,7 @@ type (
 	PipelineRequest   = wire.PipelineRequest
 	PipelineResponse  = wire.PipelineResponse
 	ExperimentDef     = wire.ExperimentDef
+	OracleInfo        = wire.OracleInfo
 	ReanalyzeRequest  = wire.ReanalyzeRequest
 	SummaryStats      = wire.SummaryStats
 	ReanalyzeResponse = wire.ReanalyzeResponse
@@ -77,24 +78,15 @@ type (
 	ErrorEnvelope     = wire.ErrorEnvelope
 )
 
-// oracleFor resolves the request's oracle selection against an analysis.
-func oracleFor(an *adds.Analysis, name string, k int) (adds.Oracle, error) {
-	kind, err := adds.ParseOracle(name)
+// oracleFor resolves the request's oracle selection against an analysis
+// through the registry; unknown names are 400s. The context carries the
+// request's tracer so oracle-internal spans land on its trace.
+func oracleFor(ctx context.Context, an *adds.Analysis, name string, k int) (adds.Oracle, error) {
+	o, err := an.OracleNamed(ctx, name, k)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	switch kind {
-	case adds.Classic:
-		return an.ClassicOracle(), nil
-	case adds.Conservative:
-		return an.ConservativeOracle(), nil
-	case adds.KLimited:
-		if k <= 0 {
-			k = 2
-		}
-		return an.KLimitedOracle(k), nil
-	}
-	return an.GPMOracle(), nil
+	return o, nil
 }
 
 // BuildAnalyze runs the analysis an AnalyzeRequest describes and assembles
@@ -131,7 +123,7 @@ func BuildAnalyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResponse, e
 	resp := &AnalyzeResponse{EngineVersion: pathmatrix.EngineVersion, Functions: []FunctionResult{}}
 	for _, name := range names {
 		an := analyses[name]
-		oracle, err := oracleFor(an, req.Oracle, req.K)
+		oracle, err := oracleFor(ctx, an, req.Oracle, req.K)
 		if err != nil {
 			return nil, err
 		}
@@ -157,13 +149,16 @@ func BuildAnalyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResponse, e
 				Dependences:     dg,
 				CarriedMemEdges: len(dg.CarriedMemEdges()),
 			})
-			for _, cmp := range []adds.OracleKind{adds.Conservative, adds.Classic, adds.GPM} {
-				o, err := oracleFor(an, cmp.String(), req.K)
+			// The comparison set and its order are part of the wire format
+			// (pinned byte-identical by the goldens), so it stays a literal
+			// instead of enumerating the registry.
+			for _, cmp := range []string{"conservative", "classic", "gpm"} {
+				o, err := oracleFor(ctx, an, cmp, req.K)
 				if err != nil {
 					return nil, err
 				}
 				fr.Oracles = append(fr.Oracles, OracleComparison{
-					Oracle:          cmp.String(),
+					Oracle:          cmp,
 					Loop:            i,
 					CarriedMemEdges: len(an.Dependences(i, o).CarriedMemEdges()),
 				})
@@ -208,7 +203,7 @@ func BuildDepgraph(ctx context.Context, req *DepgraphRequest) (*DepgraphResponse
 	if req.Fn == "" {
 		return nil, fmt.Errorf("%w: missing fn", ErrBadRequest)
 	}
-	kind, err := adds.ParseOracle(req.Oracle)
+	oracleName, err := adds.ParseOracle(req.Oracle)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -220,7 +215,7 @@ func BuildDepgraph(ctx context.Context, req *DepgraphRequest) (*DepgraphResponse
 	if err != nil {
 		return nil, err
 	}
-	oracle, err := oracleFor(an, req.Oracle, req.K)
+	oracle, err := oracleFor(ctx, an, req.Oracle, req.K)
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +229,7 @@ func BuildDepgraph(ctx context.Context, req *DepgraphRequest) (*DepgraphResponse
 	resp := &DepgraphResponse{
 		EngineVersion: pathmatrix.EngineVersion,
 		Fn:            req.Fn,
-		Oracle:        kind.String(),
+		Oracle:        oracleName,
 		Loops:         []LoopDeps{},
 	}
 	for i := lo; i < hi; i++ {
@@ -272,7 +267,7 @@ func BuildPipeline(ctx context.Context, req *PipelineRequest) (*PipelineResponse
 	if err := an.CheckLoop(req.Loop); err != nil {
 		return nil, err
 	}
-	oracle, err := oracleFor(an, req.Oracle, req.K)
+	oracle, err := oracleFor(ctx, an, req.Oracle, req.K)
 	if err != nil {
 		return nil, err
 	}

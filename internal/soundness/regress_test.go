@@ -222,3 +222,49 @@ void fuzzed(TwoWayLL *p) {
 		}
 	}
 }
+
+// TestRegressMergeDespiteStaleRelation: the store transfer's structure
+// merge must record the new composite path even when the two sides are
+// already related — here a junk (b,c) relation from the preceding join
+// made related(c,b) true, so `a->next = b` skipped the merge, PM(c,b)
+// stayed empty, and the analysis refuted the real alias b==d after
+// `b = b->prev; d = c->next` on a fully valid heap. Shrunk from the
+// repair-profile campaign (addsfuzz -seed 11, program seed 734).
+func TestRegressMergeDespiteStaleRelation(t *testing.T) {
+	checkAllObserved(t, twoWayLL+`
+void fuzzed(TwoWayLL *a) {
+    TwoWayLL *b, *c, *d;
+    b = a;
+    c = a;
+    d = a;
+    if (c != NULL) {
+        a = new TwoWayLL;
+        a->next = c->next;
+        if (a->next != NULL) {
+            a->next->prev = a;
+        }
+        c->next = a;
+        a->prev = c;
+    }
+    if (a != NULL) {
+        b = new TwoWayLL;
+        b->next = a->next;
+        if (b->next != NULL) {
+            b->next->prev = b;
+        }
+        a->next = b;
+        b->prev = a;
+    }
+    if (b != NULL) {
+        b = b->prev;
+    }
+    if (c != NULL && c->next != NULL) {
+        d = c->next;
+        c->next = d->next;
+        if (c->next != NULL) {
+            c->next->prev = c;
+        }
+    }
+}
+`)
+}
